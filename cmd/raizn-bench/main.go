@@ -1,0 +1,43 @@
+// Command raizn-bench regenerates the paper's tables and figures on the
+// simulated device arrays. Run with -list to see the experiment registry,
+// -exp <name> to run one, or -all for everything.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"raizn/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment to run (see -list)")
+	all := flag.Bool("all", false, "run every experiment")
+	list := flag.Bool("list", false, "list experiments")
+	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-8s %s\n", e.Name, e.Title)
+		}
+	case *all:
+		for _, e := range bench.Experiments() {
+			if err := bench.Run(e.Name, os.Stdout, *quick); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+	case *exp != "":
+		if err := bench.Run(*exp, os.Stdout, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

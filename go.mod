@@ -1,0 +1,3 @@
+module raizn
+
+go 1.22

@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"raizn/internal/fio"
+	"raizn/internal/stats"
+	"raizn/internal/vclock"
+)
+
+func init() {
+	register(Experiment{
+		Name:  "fig10",
+		Title: "Figure 10: full-device overwrite time series (on-device GC cliff)",
+		Run:   runGCTimeseries,
+	})
+}
+
+// runGCTimeseries reproduces the paper's two-phase overwrite benchmark:
+// phase 1 fills the array with five concurrent writers on disjoint 20%
+// regions (interleaving their data inside each erase block of the
+// conventional SSDs); phase 2 sequentially overwrites the whole address
+// space with one writer. mdraid collapses once the FTLs exhaust spare
+// blocks and must relocate valid pages; RAIZN overwrites by resetting
+// zones and stays flat.
+func runGCTimeseries(w io.Writer, quick bool) error {
+	sc := scaleFor(quick)
+	interval := 10 * time.Millisecond
+	if quick {
+		interval = 5 * time.Millisecond
+	}
+
+	type phaseStats struct {
+		p1, p2     *stats.Series
+		p2min      float64
+		p2steady   float64
+		p2meanLat  time.Duration
+		p2worstLat time.Duration
+	}
+
+	run := func(stack string) phaseStats {
+		var ps phaseStats
+		clk := vclock.New()
+		clk.Run(func() {
+			var tgt fio.Target
+			if stack == "raizn" {
+				v, _, err := newRaizn(clk, sc, true, 16)
+				if err != nil {
+					panic(err)
+				}
+				tgt = fio.RaiznTarget{V: v}
+			} else {
+				v, _, err := newMdraid(clk, sc, true, 16)
+				if err != nil {
+					panic(err)
+				}
+				tgt = fio.MdraidTarget{V: v}
+			}
+
+			// Phase 1: five writers on disjoint 20% regions.
+			size := tgt.NumSectors()
+			per := size / 5 / 16 * 16
+			var jobs []fio.Job
+			for j := 0; j < 5; j++ {
+				jobs = append(jobs, fio.Job{Pattern: fio.SeqWrite, BlockSectors: 32, QueueDepth: 16,
+					Offset: int64(j) * per, Size: per, Seed: int64(j)})
+			}
+			res := fio.Run(clk, tgt, jobs, fio.Options{SampleInterval: interval})
+			ps.p1 = res.Series
+
+			// Phase 2: one writer overwrites the whole address space.
+			// RAIZN (a zoned volume) overwrites by resetting each zone
+			// then rewriting it; mdraid overwrites in place.
+			ps.p2 = stats.NewSeries(interval)
+			done := false
+			clk.Go(func() {
+				for !done {
+					clk.Sleep(interval)
+					ps.p2.Tick(clk.Now())
+				}
+			})
+			if zr, ok := tgt.(fio.ZoneResetter); ok {
+				overwriteZoned(clk, tgt, zr, ps.p2)
+			} else {
+				overwriteFlat(clk, tgt, ps.p2)
+			}
+			done = true
+		})
+		samples := ps.p2.Samples()
+		// Trim the final partial interval.
+		if len(samples) > 2 {
+			samples = samples[:len(samples)-1]
+		}
+		ps.p2min, ps.p2steady = minMaxTput(samples)
+		for _, s := range samples {
+			if s.MeanLat > ps.p2worstLat {
+				ps.p2worstLat = s.MeanLat
+			}
+		}
+		return ps
+	}
+
+	md := run("mdraid")
+	rz := run("raizn")
+
+	fmt.Fprintln(w, "\nphase 2 (full overwrite) time series, MiB/s:")
+	t := newTable(w, "t(ms)", "mdraid", "raizn")
+	mdS, rzS := md.p2.Samples(), rz.p2.Samples()
+	n := len(mdS)
+	if len(rzS) < n {
+		n = len(rzS)
+	}
+	step := 1
+	if n > 40 {
+		step = n / 40
+	}
+	for i := 0; i < n; i += step {
+		t.row(fmt.Sprintf("%d", mdS[i].T.Milliseconds()), f1(mdS[i].Throughput), f1(rzS[i].Throughput))
+	}
+
+	mdMean := meanTput(mdS)
+	rzMean := meanTput(rzS)
+	fmt.Fprintf(w, "\nmdraid phase-2 throughput: mean %.1f, floor %.1f, ceiling %.1f MiB/s (%.0f%% drop)\n",
+		mdMean, md.p2min, md.p2steady, (1-md.p2min/md.p2steady)*100)
+	fmt.Fprintf(w, "raizn  phase-2 throughput: mean %.1f, floor %.1f, ceiling %.1f MiB/s (%.0f%% drop)\n",
+		rzMean, rz.p2min, rz.p2steady, (1-rz.p2min/rz.p2steady)*100)
+	if mdMean > 0 {
+		fmt.Fprintf(w, "raizn mean / mdraid mean during the overwrite = %.1fx\n", rzMean/mdMean)
+	}
+	fmt.Fprintln(w, "paper: mdraid throughput drops up to 93% once FTL GC starts; RAIZN is flat (no on-device GC).")
+	return nil
+}
+
+// overwriteZoned rewrites the zoned volume zone by zone: reset, then
+// sequential writes.
+func overwriteZoned(clk *vclock.Clock, tgt fio.Target, zr fio.ZoneResetter, series *stats.Series) {
+	const bs = 32
+	buf := make([]byte, bs*tgt.SectorSize())
+	zs := zr.ZoneSectors()
+	for z := 0; z < zr.NumZones(); z++ {
+		if err := zr.ResetZone(z); err != nil {
+			panic(err)
+		}
+		base := int64(z) * zs
+		// Keep a small window of writes outstanding.
+		const window = 8
+		futs := make([]*vclock.Future, 0, window)
+		starts := make([]time.Duration, 0, window)
+		drainOne := func() {
+			futs[0].Wait()
+			series.Observe(int64(len(buf)), clk.Now()-starts[0])
+			futs = futs[1:]
+			starts = starts[1:]
+		}
+		for off := int64(0); off+bs <= zs; off += bs {
+			if len(futs) == window {
+				drainOne()
+			}
+			starts = append(starts, clk.Now())
+			futs = append(futs, tgt.SubmitWrite(base+off, buf))
+		}
+		for len(futs) > 0 {
+			drainOne()
+		}
+	}
+}
+
+// overwriteFlat overwrites a block volume sequentially in place.
+func overwriteFlat(clk *vclock.Clock, tgt fio.Target, series *stats.Series) {
+	const bs = 32
+	buf := make([]byte, bs*tgt.SectorSize())
+	size := tgt.NumSectors()
+	const window = 8
+	futs := make([]*vclock.Future, 0, window)
+	starts := make([]time.Duration, 0, window)
+	drainOne := func() {
+		futs[0].Wait()
+		series.Observe(int64(len(buf)), clk.Now()-starts[0])
+		futs = futs[1:]
+		starts = starts[1:]
+	}
+	for off := int64(0); off+bs <= size; off += bs {
+		if len(futs) == window {
+			drainOne()
+		}
+		starts = append(starts, clk.Now())
+		futs = append(futs, tgt.SubmitWrite(off, buf))
+	}
+	for len(futs) > 0 {
+		drainOne()
+	}
+}
+
+// meanTput averages throughput over samples with activity.
+func meanTput(samples []stats.Sample) float64 {
+	var sum float64
+	n := 0
+	for _, s := range samples {
+		if s.Ops == 0 {
+			continue
+		}
+		sum += s.Throughput
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// minMaxTput returns the floor and ceiling of non-zero samples.
+func minMaxTput(samples []stats.Sample) (min, max float64) {
+	min = -1
+	for _, s := range samples {
+		if s.Ops == 0 {
+			continue
+		}
+		if min < 0 || s.Throughput < min {
+			min = s.Throughput
+		}
+		if s.Throughput > max {
+			max = s.Throughput
+		}
+	}
+	if min < 0 {
+		min = 0
+	}
+	return
+}

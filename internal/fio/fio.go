@@ -1,0 +1,219 @@
+// Package fio is a workload generator modeled on fio (the paper drives
+// all microbenchmarks with fio 3.28 + libaio): jobs with a block size,
+// queue depth, access pattern, and offset issue asynchronous IO against a
+// target volume while a sampler collects per-interval throughput and a
+// latency histogram.
+package fio
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"raizn/internal/stats"
+	"raizn/internal/vclock"
+)
+
+// Target is the device-agnostic face the generator drives. Adapters for
+// RAIZN, mdraid, and raw devices live in targets.go.
+type Target interface {
+	SectorSize() int
+	NumSectors() int64
+	SubmitWrite(lba int64, data []byte) *vclock.Future
+	SubmitRead(lba int64, buf []byte) *vclock.Future
+	Flush() error
+}
+
+// Pattern is the job's access pattern.
+type Pattern int
+
+const (
+	SeqWrite Pattern = iota
+	SeqRead
+	RandRead
+	RandWrite
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case SeqWrite:
+		return "write"
+	case SeqRead:
+		return "read"
+	case RandRead:
+		return "randread"
+	case RandWrite:
+		return "randwrite"
+	default:
+		return "?"
+	}
+}
+
+// Job describes one fio job.
+type Job struct {
+	Pattern      Pattern
+	BlockSectors int64
+	QueueDepth   int
+	Offset       int64 // first sector of the job's region
+	Size         int64 // region size in sectors (random IO stays inside)
+	TotalBytes   int64 // stop after this many bytes (0 = use Duration)
+	Duration     time.Duration
+	Seed         int64
+}
+
+// Result aggregates a run.
+type Result struct {
+	Bytes      int64
+	Ops        int64
+	Elapsed    time.Duration
+	Hist       *stats.Histogram
+	Series     *stats.Series
+	Throughput float64 // MiB/s over the whole run
+}
+
+// Options tune the runner.
+type Options struct {
+	SampleInterval time.Duration // 0 disables the time series
+}
+
+// Run executes the jobs concurrently against the target and returns the
+// combined result. It must be called from a simulated goroutine.
+func Run(clk *vclock.Clock, target Target, jobs []Job, opts Options) Result {
+	res := Result{Hist: stats.NewHistogram()}
+	if opts.SampleInterval > 0 {
+		res.Series = stats.NewSeries(opts.SampleInterval)
+	}
+	start := clk.Now()
+
+	// Sampler.
+	samplerStop := false
+	var samplerDone *vclock.Future
+	if res.Series != nil {
+		samplerDone = clk.NewFuture()
+		clk.Go(func() {
+			for {
+				clk.Sleep(opts.SampleInterval)
+				res.Series.Tick(clk.Now() - start)
+				if samplerStop {
+					samplerDone.Complete(nil)
+					return
+				}
+			}
+		})
+	}
+
+	var counter stats.Counter
+	wg := clk.NewWaitGroup()
+	for i := range jobs {
+		job := jobs[i]
+		wg.Add(1)
+		clk.Go(func() {
+			defer wg.Done()
+			runJob(clk, target, job, &counter, res.Hist, res.Series)
+		})
+	}
+	wg.Wait()
+	res.Elapsed = clk.Now() - start
+	samplerStop = true
+	if samplerDone != nil {
+		samplerDone.Wait()
+	}
+	res.Bytes, res.Ops = counter.Bytes(), counter.Ops()
+	res.Throughput = stats.MiBps(res.Bytes, res.Elapsed)
+	return res
+}
+
+// runJob issues the job's IO with a sliding window of QueueDepth
+// outstanding operations, like libaio.
+func runJob(clk *vclock.Clock, target Target, job Job, counter *stats.Counter, hist *stats.Histogram, series *stats.Series) {
+	if job.BlockSectors <= 0 {
+		job.BlockSectors = 1
+	}
+	if job.QueueDepth <= 0 {
+		job.QueueDepth = 1
+	}
+	if job.Size <= 0 {
+		job.Size = target.NumSectors() - job.Offset
+	}
+	rng := rand.New(rand.NewSource(job.Seed + 1))
+	ss := int64(target.SectorSize())
+	blockBytes := job.BlockSectors * ss
+	wbuf := make([]byte, blockBytes)
+	rng.Read(wbuf)
+
+	deadline := time.Duration(-1)
+	if job.Duration > 0 {
+		deadline = clk.Now() + job.Duration
+	}
+	var issuedBytes int64
+	next := job.Offset
+	nBlocks := job.Size / job.BlockSectors
+
+	inflight := 0
+	done := clk.NewWaitGroup()
+	var gateMu sync.Mutex
+	gate := clk.NewCond(&gateMu)
+
+	for {
+		if job.TotalBytes > 0 && issuedBytes >= job.TotalBytes {
+			break
+		}
+		if deadline >= 0 && clk.Now() >= deadline {
+			break
+		}
+		if job.TotalBytes == 0 && deadline < 0 && issuedBytes >= job.Size*ss {
+			break // default: one pass over the region
+		}
+
+		var lba int64
+		switch job.Pattern {
+		case SeqWrite, SeqRead:
+			if next+job.BlockSectors > job.Offset+job.Size {
+				if job.TotalBytes == 0 && deadline < 0 {
+					break // finished the pass
+				}
+				next = job.Offset // wrap (duration/size-bounded runs)
+			}
+			lba = next
+			next += job.BlockSectors
+		case RandRead, RandWrite:
+			lba = job.Offset + rng.Int63n(nBlocks)*job.BlockSectors
+		}
+
+		gateMu.Lock()
+		for inflight >= job.QueueDepth {
+			gate.Wait()
+		}
+		inflight++
+		gateMu.Unlock()
+
+		t0 := clk.Now()
+		var fut *vclock.Future
+		switch job.Pattern {
+		case SeqWrite, RandWrite:
+			fut = target.SubmitWrite(lba, wbuf)
+		default:
+			buf := make([]byte, blockBytes)
+			fut = target.SubmitRead(lba, buf)
+		}
+		issuedBytes += blockBytes
+		done.Add(1)
+		clk.Go(func() {
+			defer done.Done()
+			err := fut.Wait()
+			lat := clk.Now() - t0
+			if err == nil {
+				counter.Add(blockBytes)
+				hist.Record(lat)
+				if series != nil {
+					series.Observe(blockBytes, lat)
+				}
+			}
+			gateMu.Lock()
+			inflight--
+			gate.Signal()
+			gateMu.Unlock()
+		})
+	}
+	done.Wait()
+}

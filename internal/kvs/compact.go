@@ -1,0 +1,388 @@
+package kvs
+
+import (
+	"encoding/binary"
+	"sort"
+	"strings"
+
+	"raizn/internal/lfs"
+)
+
+// background is the flush/compaction worker, one per DB.
+func (db *DB) background() {
+	for {
+		db.mu.Lock()
+		for !db.closed && db.bgErr == nil && db.imm == nil && db.compactionNeededLocked() < 0 {
+			db.cond.Wait()
+		}
+		if db.closed || db.bgErr != nil {
+			db.mu.Unlock()
+			return
+		}
+		db.bgBusy = true
+		var err error
+		if db.imm != nil {
+			imm, walName := db.imm, db.immWAL
+			num := db.allocFileLocked()
+			db.mu.Unlock()
+			err = db.flushImm(imm, walName, num)
+			db.mu.Lock()
+			if err == nil {
+				db.imm = nil
+				db.immWAL = ""
+				db.FlushCount++
+			}
+		} else {
+			lvl := db.compactionNeededLocked()
+			db.mu.Unlock()
+			err = db.compact(lvl)
+			db.mu.Lock()
+			if err == nil {
+				db.CompactCount++
+			}
+		}
+		if err != nil {
+			db.bgErr = err
+		}
+		db.bgBusy = false
+		db.cond.Broadcast()
+		db.mu.Unlock()
+	}
+}
+
+// compactionNeededLocked returns the level to compact, or -1.
+func (db *DB) compactionNeededLocked() int {
+	if len(db.levels[0]) >= db.opt.L0Files {
+		return 0
+	}
+	limit := db.opt.BaseLevelBytes
+	for i := 1; i < db.opt.MaxLevels-1; i++ {
+		var size int64
+		for _, t := range db.levels[i] {
+			size += t.size
+		}
+		if size > limit {
+			return i
+		}
+		limit *= db.opt.LevelRatio
+	}
+	return -1
+}
+
+func (db *DB) allocFileLocked() uint64 {
+	db.nextFile++
+	return db.nextFile
+}
+
+// flushImm writes the immutable memtable as an L0 table, persists the
+// manifest, and retires the WAL.
+func (db *DB) flushImm(imm *memtable, walName string, num uint64) error {
+	name := db.fileName("sst", num)
+	keys := imm.sortedKeys()
+	t, err := writeTable(db.fs, name, keys, func(k string) entry {
+		e, _ := imm.get(k)
+		return e
+	})
+	if err != nil {
+		return err
+	}
+	t.level = 0
+
+	db.mu.Lock()
+	db.levels[0] = append([]*tableMeta{t}, db.levels[0]...)
+	snap := db.manifestSnapshotLocked()
+	db.mu.Unlock()
+
+	if err := db.writeManifest(snap); err != nil {
+		return err
+	}
+	if walName != "" {
+		_ = db.fs.Delete(walName)
+	}
+	return nil
+}
+
+// compact merges level into level+1 (L0 compactions take every L0 table;
+// deeper levels pick one victim) and retires the inputs.
+func (db *DB) compact(level int) error {
+	db.mu.Lock()
+	var inputs []*tableMeta
+	if level == 0 {
+		inputs = append(inputs, db.levels[0]...)
+	} else if len(db.levels[level]) > 0 {
+		inputs = append(inputs, db.levels[level][0])
+	}
+	if len(inputs) == 0 {
+		db.mu.Unlock()
+		return nil
+	}
+	minKey, maxKey := inputs[0].minKey, inputs[0].maxKey
+	for _, t := range inputs[1:] {
+		if t.minKey < minKey {
+			minKey = t.minKey
+		}
+		if t.maxKey > maxKey {
+			maxKey = t.maxKey
+		}
+	}
+	next := level + 1
+	var overlaps []*tableMeta
+	for _, t := range db.levels[next] {
+		if t.maxKey >= minKey && t.minKey <= maxKey {
+			overlaps = append(overlaps, t)
+		}
+	}
+	// Determine whether tombstones can be dropped: no deeper data.
+	dropTombs := true
+	for l := next + 1; l < db.opt.MaxLevels; l++ {
+		if len(db.levels[l]) > 0 {
+			dropTombs = false
+		}
+	}
+	if next == db.opt.MaxLevels-1 {
+		// Output level is the bottom: drop if nothing deeper, which is
+		// always true here.
+		dropTombs = true
+	}
+	db.mu.Unlock()
+
+	// Load and merge. Input precedence: higher seq wins, which the
+	// per-entry sequence numbers encode directly.
+	best := map[string]entry{}
+	load := func(t *tableMeta) error {
+		es, err := t.loadAll(db.fs)
+		if err != nil {
+			return err
+		}
+		for _, e := range es {
+			if prev, ok := best[e.key]; !ok || e.seq > prev.seq {
+				best[e.key] = e.entry
+			}
+			db.CompactBytes += int64(16 + len(e.key) + len(e.value))
+		}
+		return nil
+	}
+	for _, t := range inputs {
+		if err := load(t); err != nil {
+			return err
+		}
+	}
+	for _, t := range overlaps {
+		if err := load(t); err != nil {
+			return err
+		}
+	}
+	keys := make([]string, 0, len(best))
+	for k, e := range best {
+		if dropTombs && e.tombstone {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	// Write output tables, split at the target file size.
+	var outputs []*tableMeta
+	var cur []string
+	var curBytes int64
+	emit := func() error {
+		if len(cur) == 0 {
+			return nil
+		}
+		db.mu.Lock()
+		num := db.allocFileLocked()
+		db.mu.Unlock()
+		t, err := writeTable(db.fs, db.fileName("sst", num), cur, func(k string) entry { return best[k] })
+		if err != nil {
+			return err
+		}
+		t.level = next
+		outputs = append(outputs, t)
+		cur, curBytes = nil, 0
+		return nil
+	}
+	for _, k := range keys {
+		cur = append(cur, k)
+		curBytes += int64(16 + len(k) + len(best[k].value))
+		if curBytes >= db.opt.TargetFileBytes {
+			if err := emit(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := emit(); err != nil {
+		return err
+	}
+
+	// Install: remove inputs and overlaps, insert outputs.
+	retired := map[*tableMeta]bool{}
+	for _, t := range inputs {
+		retired[t] = true
+	}
+	for _, t := range overlaps {
+		retired[t] = true
+	}
+	db.mu.Lock()
+	for l := range db.levels {
+		keep := db.levels[l][:0]
+		for _, t := range db.levels[l] {
+			if !retired[t] {
+				keep = append(keep, t)
+			}
+		}
+		db.levels[l] = keep
+	}
+	db.levels[next] = append(db.levels[next], outputs...)
+	sort.Slice(db.levels[next], func(i, j int) bool {
+		return db.levels[next][i].minKey < db.levels[next][j].minKey
+	})
+	snap := db.manifestSnapshotLocked()
+	db.mu.Unlock()
+
+	if err := db.writeManifest(snap); err != nil {
+		return err
+	}
+	for t := range retired {
+		_ = db.fs.Delete(t.name)
+	}
+	return nil
+}
+
+// --- manifest ---
+
+// manifestSnapshot is the serializable DB state. Caller holds db.mu.
+func (db *DB) manifestSnapshotLocked() []byte {
+	var b []byte
+	b = binary.LittleEndian.AppendUint64(b, db.nextFile)
+	b = binary.LittleEndian.AppendUint64(b, db.seq)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(db.levels)))
+	for _, lvl := range db.levels {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(lvl)))
+		for _, t := range lvl {
+			b = binary.LittleEndian.AppendUint32(b, uint32(len(t.name)))
+			b = append(b, t.name...)
+		}
+	}
+	return b
+}
+
+// writeManifestLocked is used during Open before the worker starts.
+func (db *DB) writeManifestLocked() error {
+	return db.writeManifest(db.manifestSnapshotLocked())
+}
+
+// writeManifest atomically replaces the MANIFEST via write-temp + rename.
+func (db *DB) writeManifest(snap []byte) error {
+	tmp := "MANIFEST.tmp"
+	if db.fs.Exists(tmp) {
+		_ = db.fs.Delete(tmp)
+	}
+	f, err := db.fs.Create(tmp, lfs.Hot)
+	if err != nil {
+		return err
+	}
+	hdr := binary.LittleEndian.AppendUint32(nil, uint32(len(snap)))
+	if err := f.Append(hdr); err != nil {
+		return err
+	}
+	if err := f.Append(snap); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return db.fs.Rename(tmp, "MANIFEST")
+}
+
+// recover loads the manifest and replays outstanding WALs.
+func (db *DB) recover() error {
+	if !db.fs.Exists("MANIFEST") {
+		return nil // fresh database
+	}
+	f, err := db.fs.Open("MANIFEST")
+	if err != nil {
+		return err
+	}
+	hdr := make([]byte, 4)
+	if err := f.ReadAt(hdr, 0); err != nil {
+		return err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr))
+	blob := make([]byte, n)
+	if err := f.ReadAt(blob, 4); err != nil {
+		return err
+	}
+	off := 0
+	u32 := func() int {
+		v := int(binary.LittleEndian.Uint32(blob[off:]))
+		off += 4
+		return v
+	}
+	db.nextFile = binary.LittleEndian.Uint64(blob[0:8])
+	manifestSeq := binary.LittleEndian.Uint64(blob[8:16])
+	off = 16
+	nLevels := u32()
+	for l := 0; l < nLevels && l < len(db.levels); l++ {
+		count := u32()
+		for i := 0; i < count; i++ {
+			nl := u32()
+			name := string(blob[off : off+nl])
+			off += nl
+			t, err := openTable(db.fs, name, l)
+			if err != nil {
+				return err
+			}
+			db.levels[l] = append(db.levels[l], t)
+		}
+	}
+
+	// Replay outstanding WAL files in creation order and compute the
+	// restored sequence number.
+	var walNames []string
+	for _, name := range db.fs.List() {
+		if strings.HasPrefix(name, "wal_") {
+			walNames = append(walNames, name)
+		}
+	}
+	sort.Strings(walNames)
+	var maxSeq uint64
+	for _, name := range walNames {
+		wf, err := db.fs.Open(name)
+		if err != nil {
+			return err
+		}
+		raw := make([]byte, wf.Size())
+		if len(raw) > 0 {
+			if err := wf.ReadAt(raw, 0); err != nil {
+				return err
+			}
+		}
+		if s := db.replayWAL(raw, db.mem); s > maxSeq {
+			maxSeq = s
+		}
+	}
+	// Seed seq past every persisted entry: every write since the last
+	// manifest is in a WAL, so max(manifest seq, WAL seqs) covers all.
+	if manifestSeq > maxSeq {
+		maxSeq = manifestSeq
+	}
+	db.seq = maxSeq
+
+	// Re-home the replayed data: flush it to a fresh L0 table so the
+	// old WALs can be retired, then start a clean WAL.
+	if db.mem.count() > 0 {
+		imm := db.mem
+		db.mem = newMemtable()
+		db.nextFile++
+		if err := db.flushImm(imm, "", db.nextFile); err != nil {
+			return err
+		}
+	}
+	for _, name := range walNames {
+		_ = db.fs.Delete(name)
+	}
+	if err := db.rotateWALLocked(); err != nil {
+		return err
+	}
+	return db.writeManifestLocked()
+}

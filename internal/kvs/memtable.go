@@ -1,0 +1,69 @@
+package kvs
+
+import "sort"
+
+// entry is one versioned value.
+type entry struct {
+	seq       uint64
+	value     []byte
+	tombstone bool
+}
+
+// memtable is the in-memory write buffer: a map with on-demand sorted
+// iteration (sorting happens at flush and scan time, off the Put path).
+type memtable struct {
+	m     map[string]entry
+	bytes int64
+}
+
+func newMemtable() *memtable {
+	return &memtable{m: make(map[string]entry)}
+}
+
+func (t *memtable) put(key string, value []byte, seq uint64, tombstone bool) {
+	var v []byte
+	if !tombstone {
+		v = append([]byte(nil), value...)
+	}
+	if old, ok := t.m[key]; ok {
+		t.bytes -= int64(len(key) + len(old.value))
+	}
+	t.m[key] = entry{seq: seq, value: v, tombstone: tombstone}
+	t.bytes += int64(len(key) + len(v))
+}
+
+func (t *memtable) get(key string) (entry, bool) {
+	e, ok := t.m[key]
+	return e, ok
+}
+
+func (t *memtable) count() int { return len(t.m) }
+
+// sortedKeys returns the keys in order.
+func (t *memtable) sortedKeys() []string {
+	keys := make([]string, 0, len(t.m))
+	for k := range t.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// scan feeds up to limit entries with key >= start into consider, in key
+// order, returning how many were fed and the last key.
+func (t *memtable) scan(start string, limit int, consider func(string, entry)) (int, string) {
+	n := 0
+	last := ""
+	for _, k := range t.sortedKeys() {
+		if k < start {
+			continue
+		}
+		consider(k, t.m[k])
+		n++
+		last = k
+		if n == limit {
+			break
+		}
+	}
+	return n, last
+}

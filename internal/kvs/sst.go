@@ -1,0 +1,269 @@
+package kvs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"raizn/internal/lfs"
+)
+
+// Sorted table file format (all integers little endian):
+//
+//	entries:  repeated { u64 seq | u32 klen | u32 vlen | key | value }
+//	          vlen == tombstoneLen marks a tombstone (no value bytes)
+//	index:    repeated { u32 klen | key | u64 offset }
+//	footer:   u64 indexOffset | u32 indexCount | u32 magic
+//
+// The full index is kept in memory for open tables (tables are small at
+// this reproduction's scale; RocksDB would use block-sparse indexes).
+
+const (
+	sstMagic     = 0x53535431 // "SST1"
+	tombstoneLen = 0xFFFFFFFF
+	sstFooterLen = 16
+)
+
+// tableMeta describes one immutable sorted table.
+type tableMeta struct {
+	name     string
+	level    int
+	size     int64 // entry-region bytes
+	minKey   string
+	maxKey   string
+	idxKeys  []string
+	idxOffs  []int64
+	entryEnd int64 // offset where the index starts
+}
+
+// writeTable writes sorted entries to a new file and returns its
+// metadata. keys must be sorted; entries maps key to its newest version.
+func writeTable(fsys *lfs.FS, name string, keys []string, get func(string) entry) (*tableMeta, error) {
+	f, err := fsys.Create(name, lfs.Cold)
+	if err != nil {
+		return nil, err
+	}
+	t := &tableMeta{name: name}
+	var buf []byte
+	var off int64
+	for _, k := range keys {
+		e := get(k)
+		t.idxKeys = append(t.idxKeys, k)
+		t.idxOffs = append(t.idxOffs, off)
+		vlen := uint32(len(e.value))
+		if e.tombstone {
+			vlen = tombstoneLen
+		}
+		buf = binary.LittleEndian.AppendUint64(buf[:0], e.seq)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(k)))
+		buf = binary.LittleEndian.AppendUint32(buf, vlen)
+		buf = append(buf, k...)
+		if !e.tombstone {
+			buf = append(buf, e.value...)
+		}
+		if err := f.Append(buf); err != nil {
+			return nil, err
+		}
+		off += int64(len(buf))
+	}
+	t.entryEnd = off
+	t.size = off
+	if len(keys) > 0 {
+		t.minKey, t.maxKey = keys[0], keys[len(keys)-1]
+	}
+	// Index + footer.
+	var idx []byte
+	for i, k := range t.idxKeys {
+		idx = binary.LittleEndian.AppendUint32(idx, uint32(len(k)))
+		idx = append(idx, k...)
+		idx = binary.LittleEndian.AppendUint64(idx, uint64(t.idxOffs[i]))
+	}
+	idx = binary.LittleEndian.AppendUint64(idx, uint64(off))
+	idx = binary.LittleEndian.AppendUint32(idx, uint32(len(t.idxKeys)))
+	idx = binary.LittleEndian.AppendUint32(idx, sstMagic)
+	if err := f.Append(idx); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// openTable loads a table's index from the file (used on recovery).
+func openTable(fsys *lfs.FS, name string, level int) (*tableMeta, error) {
+	f, err := fsys.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	size := f.Size()
+	if size < sstFooterLen {
+		return nil, fmt.Errorf("kvs: table %s too small", name)
+	}
+	foot := make([]byte, sstFooterLen)
+	if err := f.ReadAt(foot, size-sstFooterLen); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(foot[12:16]) != sstMagic {
+		return nil, fmt.Errorf("kvs: table %s bad magic", name)
+	}
+	entryEnd := int64(binary.LittleEndian.Uint64(foot[0:8]))
+	count := int(binary.LittleEndian.Uint32(foot[8:12]))
+	idxBytes := make([]byte, size-sstFooterLen-entryEnd)
+	if err := f.ReadAt(idxBytes, entryEnd); err != nil {
+		return nil, err
+	}
+	t := &tableMeta{name: name, level: level, size: entryEnd, entryEnd: entryEnd}
+	off := 0
+	for i := 0; i < count; i++ {
+		kl := int(binary.LittleEndian.Uint32(idxBytes[off:]))
+		off += 4
+		k := string(idxBytes[off : off+kl])
+		off += kl
+		o := int64(binary.LittleEndian.Uint64(idxBytes[off:]))
+		off += 8
+		t.idxKeys = append(t.idxKeys, k)
+		t.idxOffs = append(t.idxOffs, o)
+	}
+	if count > 0 {
+		t.minKey, t.maxKey = t.idxKeys[0], t.idxKeys[count-1]
+	}
+	return t, nil
+}
+
+// get looks up k, reading exactly the entry's byte range.
+func (t *tableMeta) get(fsys *lfs.FS, k string) (entry, bool, error) {
+	i := t.search(k)
+	if i < 0 {
+		return entry{}, false, nil
+	}
+	end := t.entryEnd
+	if i+1 < len(t.idxOffs) {
+		end = t.idxOffs[i+1]
+	}
+	f, err := fsys.Open(t.name)
+	if err != nil {
+		return entry{}, false, err
+	}
+	buf := make([]byte, end-t.idxOffs[i])
+	if err := f.ReadAt(buf, t.idxOffs[i]); err != nil {
+		return entry{}, false, err
+	}
+	e, _, err := decodeEntry(buf)
+	if err != nil {
+		return entry{}, false, err
+	}
+	return e.entry, true, nil
+}
+
+// search returns the index of k, or -1.
+func (t *tableMeta) search(k string) int {
+	lo, hi := 0, len(t.idxKeys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.idxKeys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(t.idxKeys) && t.idxKeys[lo] == k {
+		return lo
+	}
+	return -1
+}
+
+// scan feeds up to limit entries with key >= start into consider,
+// returning how many were fed and the last key.
+func (t *tableMeta) scan(fsys *lfs.FS, start string, limit int, consider func(string, entry)) (int, string, error) {
+	// Lower bound.
+	lo, hi := 0, len(t.idxKeys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.idxKeys[mid] < start {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(t.idxKeys) {
+		return 0, "", nil
+	}
+	last := lo + limit
+	if last > len(t.idxKeys) {
+		last = len(t.idxKeys)
+	}
+	end := t.entryEnd
+	if last < len(t.idxOffs) {
+		end = t.idxOffs[last]
+	}
+	f, err := fsys.Open(t.name)
+	if err != nil {
+		return 0, "", err
+	}
+	buf := make([]byte, end-t.idxOffs[lo])
+	if err := f.ReadAt(buf, t.idxOffs[lo]); err != nil {
+		return 0, "", err
+	}
+	lastKey := ""
+	for i := lo; i < last; i++ {
+		e, n, err := decodeEntry(buf)
+		if err != nil {
+			return 0, "", err
+		}
+		consider(e.key, e.entry)
+		lastKey = e.key
+		buf = buf[n:]
+	}
+	return last - lo, lastKey, nil
+}
+
+// loadAll reads every entry of the table in key order (compaction input).
+func (t *tableMeta) loadAll(fsys *lfs.FS) ([]keyedEntry, error) {
+	if len(t.idxKeys) == 0 {
+		return nil, nil
+	}
+	f, err := fsys.Open(t.name)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, t.entryEnd)
+	if err := f.ReadAt(buf, 0); err != nil {
+		return nil, err
+	}
+	out := make([]keyedEntry, 0, len(t.idxKeys))
+	for len(out) < len(t.idxKeys) {
+		e, n, err := decodeEntry(buf)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+		buf = buf[n:]
+	}
+	return out, nil
+}
+
+type keyedEntry struct {
+	key string
+	entry
+}
+
+func decodeEntry(b []byte) (keyedEntry, int, error) {
+	if len(b) < 16 {
+		return keyedEntry{}, 0, errors.New("kvs: truncated entry")
+	}
+	seq := binary.LittleEndian.Uint64(b[0:8])
+	kl := int(binary.LittleEndian.Uint32(b[8:12]))
+	vl32 := binary.LittleEndian.Uint32(b[12:16])
+	tomb := vl32 == tombstoneLen
+	vl := 0
+	if !tomb {
+		vl = int(vl32)
+	}
+	if len(b) < 16+kl+vl {
+		return keyedEntry{}, 0, errors.New("kvs: truncated entry body")
+	}
+	k := string(b[16 : 16+kl])
+	var v []byte
+	if !tomb {
+		v = append([]byte(nil), b[16+kl:16+kl+vl]...)
+	}
+	return keyedEntry{key: k, entry: entry{seq: seq, value: v, tombstone: tomb}}, 16 + kl + vl, nil
+}

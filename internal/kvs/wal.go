@@ -1,0 +1,55 @@
+package kvs
+
+import (
+	"encoding/binary"
+)
+
+// WAL record: u64 seq | u32 klen | u32 vlen (tombstoneLen = delete) |
+// key | value. The file is append-only; replay stops at the first
+// truncated or zero record (lfs pads synced tails with zeroes, which
+// decode as an invalid zero-length record).
+func encodeWALRecord(key, value []byte, tombstone bool, seq uint64) []byte {
+	vlen := uint32(len(value))
+	if tombstone {
+		vlen = tombstoneLen
+	}
+	b := make([]byte, 0, 16+len(key)+len(value))
+	b = binary.LittleEndian.AppendUint64(b, seq)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(key)))
+	b = binary.LittleEndian.AppendUint32(b, vlen)
+	b = append(b, key...)
+	if !tombstone {
+		b = append(b, value...)
+	}
+	return b
+}
+
+// replayWAL parses records from raw WAL bytes into the memtable,
+// returning the highest sequence number seen.
+func (db *DB) replayWAL(raw []byte, mem *memtable) uint64 {
+	var maxSeq uint64
+	for len(raw) >= 16 {
+		seq := binary.LittleEndian.Uint64(raw[0:8])
+		kl := int(binary.LittleEndian.Uint32(raw[8:12]))
+		vl32 := binary.LittleEndian.Uint32(raw[12:16])
+		tomb := vl32 == tombstoneLen
+		vl := 0
+		if !tomb {
+			vl = int(vl32)
+		}
+		if kl == 0 || len(raw) < 16+kl+vl {
+			break // padding or torn record: end of log
+		}
+		key := string(raw[16 : 16+kl])
+		var val []byte
+		if !tomb {
+			val = raw[16+kl : 16+kl+vl]
+		}
+		mem.put(key, val, seq, tomb)
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+		raw = raw[16+kl+vl:]
+	}
+	return maxSeq
+}

@@ -1,0 +1,153 @@
+package lfs
+
+import (
+	"raizn/internal/vclock"
+)
+
+// cleanLocked frees segments by relocating the live blocks of the
+// fullest-invalidated segments into the active logs (F2FS "segment
+// cleaning"; on a zoned volume this is the host-side GC the ZNS interface
+// makes explicit). Caller holds fs.mu; the lock is released around device
+// IO, with the cleaning flag excluding concurrent cleaners/allocators.
+func (fs *FS) cleanLocked() error {
+	for fs.cleaning {
+		fs.cond.Wait()
+		if len(fs.free) > 0 {
+			return nil // another cleaner already freed space
+		}
+	}
+	fs.cleaning = true
+	defer func() {
+		fs.cleaning = false
+		fs.cond.Broadcast()
+	}()
+	fs.CleanRuns++
+
+	victim := fs.pickVictimLocked()
+	if victim < 0 {
+		return ErrNoSpace
+	}
+	si := &fs.segs[victim]
+
+	// Relocate the victim's live blocks. Live = the owning file's block
+	// pointer still references the lba.
+	bs := int64(fs.block)
+	start := fs.segStart(victim)
+	for b := int64(0); b < si.used; b++ {
+		lba := start + b
+		owner, ok := fs.rmap[lba]
+		if !ok || owner.idx >= int64(len(owner.file.blocks)) || owner.file.blocks[owner.idx] != lba {
+			continue
+		}
+		// Copy: read old block, append to the owner's temperature log.
+		buf := make([]byte, bs)
+		rf := fs.dev.SubmitRead(lba, buf)
+		fs.mu.Unlock()
+		err := rf.Wait()
+		fs.mu.Lock()
+		if err != nil {
+			return err
+		}
+		// Re-check liveness after the blocking read.
+		if owner.file.blocks[owner.idx] != lba {
+			continue
+		}
+		newLBA, err := fs.allocForCleanLocked(owner.file.temp, victim)
+		if err != nil {
+			return err
+		}
+		ticket := fs.takeTicketLocked()
+		fs.mu.Unlock()
+		err = fs.submitOrdered(ticket, newLBA, buf).Wait()
+		fs.mu.Lock()
+		if err != nil {
+			return err
+		}
+		fs.invalidateLocked(lba)
+		owner.file.blocks[owner.idx] = newLBA
+		fs.rmap[newLBA] = owner
+		fs.CleanedBlocks++
+	}
+
+	// Before erasing the victim, the relocated blocks and the file table
+	// referencing their new homes must be durable — otherwise a crash
+	// after the reset would leave the only checkpoint pointing into the
+	// erased segment. Order: checkpoint (new locations), flush (data +
+	// checkpoint), then reset.
+	if err := fs.checkpointLocked(); err != nil {
+		return err
+	}
+	fl := fs.clk.NewFuture()
+	fs.clk.Go(func() { fl.Complete(fs.dev.Flush()) })
+	fs.mu.Unlock()
+	err := fl.Wait()
+	fs.mu.Lock()
+	if err != nil {
+		return err
+	}
+
+	// The victim is now fully invalid: reset it back into the pool.
+	rz := fs.resetSegment(victim)
+	fs.mu.Unlock()
+	err = rz.Wait()
+	fs.mu.Lock()
+	if err != nil {
+		return err
+	}
+	fs.segs[victim] = segInfo{state: segFree}
+	fs.free = append(fs.free, victim)
+	return nil
+}
+
+// resetSegment issues the zone reset for a data segment and returns its
+// completion. Caller holds fs.mu.
+func (fs *FS) resetSegment(seg int) *vclock.Future {
+	fut := fs.clk.NewFuture()
+	fs.clk.Go(func() {
+		fut.Complete(fs.dev.ResetZone(seg))
+	})
+	return fut
+}
+
+// pickVictimLocked chooses the full segment with the fewest live blocks
+// (greedy policy). Segments with no invalid blocks are not worth
+// cleaning.
+func (fs *FS) pickVictimLocked() int {
+	best, bestValid := -1, fs.segSz
+	for i := mdSegments; i < len(fs.segs); i++ {
+		si := &fs.segs[i]
+		if si.state != segFull {
+			continue
+		}
+		if si.valid < bestValid {
+			best, bestValid = i, si.valid
+		}
+	}
+	return best
+}
+
+// allocForCleanLocked allocates a relocation block without recursing into
+// the cleaner. It may consume the last free segment; the victim being
+// cleaned is about to replenish the pool.
+func (fs *FS) allocForCleanLocked(t Temp, victim int) (int64, error) {
+	if fs.active[t] >= 0 {
+		seg := fs.active[t]
+		si := &fs.segs[seg]
+		if si.used < fs.segSz {
+			lba := fs.segStart(seg) + si.used
+			si.used++
+			si.valid++
+			return lba, nil
+		}
+		si.state = segFull
+		fs.active[t] = -1
+	}
+	if len(fs.free) == 0 {
+		return -1, ErrNoSpace
+	}
+	seg := fs.free[len(fs.free)-1]
+	fs.free = fs.free[:len(fs.free)-1]
+	fs.segs[seg] = segInfo{state: segActive}
+	fs.active[t] = seg
+	return fs.allocForCleanLocked(t, victim)
+}

@@ -1,0 +1,57 @@
+package lfs
+
+import "raizn/internal/vclock"
+
+// FlatVolume is the minimal flat (overwritable) volume interface needed
+// to host the filesystem on block storage; mdraid's volume satisfies the
+// submit methods via the fio adapter, or use MdraidDevice below.
+type FlatVolume interface {
+	SectorSize() int
+	NumSectors() int64
+	SubmitWrite(lba int64, data []byte) *vclock.Future
+	SubmitRead(lba int64, buf []byte) *vclock.Future
+	Flush() error
+}
+
+// BlockDevice adapts a flat volume to the Device interface by imposing
+// synthetic segments: zone resets are pure bookkeeping because the
+// underlying volume supports overwrites (the FTL absorbs them — exactly
+// the regime that triggers on-device GC in the paper's baseline).
+type BlockDevice struct {
+	V          FlatVolume
+	SegSectors int64
+}
+
+// NewBlockDevice wraps v with the given segment size in sectors.
+func NewBlockDevice(v FlatVolume, segSectors int64) BlockDevice {
+	return BlockDevice{V: v, SegSectors: segSectors}
+}
+
+// SectorSize implements Device.
+func (b BlockDevice) SectorSize() int { return b.V.SectorSize() }
+
+// NumSectors implements Device.
+func (b BlockDevice) NumSectors() int64 { return b.V.NumSectors() }
+
+// SubmitWrite implements Device.
+func (b BlockDevice) SubmitWrite(lba int64, data []byte) *vclock.Future {
+	return b.V.SubmitWrite(lba, data)
+}
+
+// SubmitRead implements Device.
+func (b BlockDevice) SubmitRead(lba int64, buf []byte) *vclock.Future {
+	return b.V.SubmitRead(lba, buf)
+}
+
+// Flush implements Device.
+func (b BlockDevice) Flush() error { return b.V.Flush() }
+
+// ZoneSectors implements Device.
+func (b BlockDevice) ZoneSectors() int64 { return b.SegSectors }
+
+// NumZones implements Device.
+func (b BlockDevice) NumZones() int { return int(b.V.NumSectors() / b.SegSectors) }
+
+// ResetZone implements Device: a no-op, since block volumes overwrite in
+// place.
+func (b BlockDevice) ResetZone(z int) error { return nil }

@@ -1,0 +1,588 @@
+// Package lfs implements a zone-aware log-structured filesystem in the
+// role F2FS plays in the paper's application benchmarks (§6.3): it runs
+// unmodified on both the RAIZN logical ZNS volume and the mdraid block
+// volume, mapping segments to zones on zoned storage (so all device-level
+// placement is sequential and erases are whole-zone resets) and to plain
+// regions on block storage.
+//
+// Like F2FS it separates multi-head logs by data temperature (hot =
+// write-ahead logs, cold = sorted tables), performs segment cleaning when
+// free segments run low, and persists its file table with checkpoint
+// records in dedicated metadata segments.
+package lfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"raizn/internal/vclock"
+)
+
+// Device is the storage a filesystem instance runs on. The fio target
+// adapters for RAIZN satisfy the zoned form; block volumes are wrapped by
+// BlockDevice.
+type Device interface {
+	SectorSize() int
+	NumSectors() int64
+	SubmitWrite(lba int64, data []byte) *vclock.Future
+	SubmitRead(lba int64, buf []byte) *vclock.Future
+	Flush() error
+
+	// Segment geometry. Zoned devices map segments to zones and must
+	// reset a zone before it is rewritten; block devices treat resets
+	// as free-list bookkeeping.
+	ZoneSectors() int64
+	NumZones() int
+	ResetZone(z int) error
+}
+
+// Temp is a data temperature hint, selecting the active log a file's
+// blocks are appended to (F2FS's multi-head logging).
+type Temp int
+
+const (
+	Hot  Temp = iota // frequently rewritten, short-lived (WAL)
+	Cold             // write-once, long-lived (SSTs)
+	numTemps
+)
+
+// Errors.
+var (
+	ErrExist    = errors.New("lfs: file exists")
+	ErrNotExist = errors.New("lfs: file does not exist")
+	ErrNoSpace  = errors.New("lfs: no free segments")
+	ErrClosed   = errors.New("lfs: filesystem closed")
+)
+
+const (
+	mdSegments = 2          // alternating checkpoint segments
+	ckptMagic  = 0x4C465331 // "LFS1"
+)
+
+// FS is a mounted filesystem. Methods are safe for concurrent use by
+// simulated goroutines.
+type FS struct {
+	dev   Device
+	clk   *vclock.Clock
+	block int   // bytes per block (= sector)
+	segSz int64 // blocks per segment
+
+	mu       sync.Mutex
+	cond     *vclock.Cond
+	files    map[string]*File
+	segs     []segInfo
+	active   [numTemps]int // active segment per temperature, -1 none
+	free     []int
+	ckptGen  uint64
+	ckptSeg  int   // metadata segment currently appended to (0 or 1)
+	ckptWP   int64 // next block within the checkpoint segment
+	ckptBusy bool
+	cleaning bool
+	closed   bool
+
+	rmap map[int64]blockOwner // lba -> owner, for segment cleaning
+
+	// Write-submission ordering gate. Zoned volumes require writes to
+	// arrive in write-pointer order, but volume SubmitWrite may block
+	// (e.g. RAIZN metadata GC), so it must not run under fs.mu. Writers
+	// take a ticket while holding fs.mu (fixing the order) and submit
+	// through the gate: only the ticket's turn-holder proceeds, with no
+	// sync.Mutex held across the potentially blocking submit.
+	ordMu    sync.Mutex
+	ordCond  *vclock.Cond
+	wTickets uint64
+	wServed  uint64
+
+	// Stats.
+	CleanedBlocks int64
+	CleanRuns     int64
+}
+
+// takeTicketLocked reserves the next write-submission slot. Caller holds
+// fs.mu.
+func (fs *FS) takeTicketLocked() uint64 {
+	t := fs.wTickets
+	fs.wTickets++
+	return t
+}
+
+// submitOrdered performs the volume write for the given ticket, in ticket
+// order. It must be called WITHOUT fs.mu held and returns the completion
+// future after the submit (not the completion) has happened.
+func (fs *FS) submitOrdered(ticket uint64, lba int64, data []byte) *vclock.Future {
+	fs.ordMu.Lock()
+	for fs.wServed != ticket {
+		fs.ordCond.Wait()
+	}
+	fs.ordMu.Unlock()
+	fut := fs.dev.SubmitWrite(lba, data)
+	fs.ordMu.Lock()
+	fs.wServed++
+	fs.ordCond.Broadcast()
+	fs.ordMu.Unlock()
+	return fut
+}
+
+type blockOwner struct {
+	file *File
+	idx  int64 // block index within the file
+}
+
+type segInfo struct {
+	state segState
+	used  int64 // blocks written (log head within the segment)
+	valid int64 // live blocks
+}
+
+type segState uint8
+
+const (
+	segFree segState = iota
+	segActive
+	segFull
+	segMeta
+)
+
+// File is an append-only file with block-granular relocation (rewriting
+// the unaligned tail relocates it, as any log-structured FS must).
+//
+// Appends are pipelined like page-cache writeback: full blocks are
+// submitted to the device without waiting, and Sync is the barrier that
+// drains outstanding writes (collecting their errors) before flushing.
+type File struct {
+	fs      *FS
+	name    string
+	temp    Temp
+	size    int64   // bytes
+	blocks  []int64 // lba of each full or padded block, -1 = hole
+	tail    []byte  // bytes past the last durable block boundary
+	tailAt  int64   // block index the tail belongs to
+	pending []*vclock.Future
+	wErr    error // first async write error, surfaced on the next op
+}
+
+// maxPending bounds the write pipeline per file before backpressure.
+const maxPending = 128
+
+// drainPendingLocked waits for all outstanding writes of the file.
+// Caller holds fs.mu; the lock is released around the waits.
+func (f *File) drainPendingLocked() error {
+	for len(f.pending) > 0 {
+		fut := f.pending[0]
+		f.pending = f.pending[1:]
+		f.fs.mu.Unlock()
+		err := fut.Wait()
+		f.fs.mu.Lock()
+		if err != nil && f.wErr == nil {
+			f.wErr = err
+		}
+	}
+	err := f.wErr
+	f.wErr = nil
+	return err
+}
+
+// Format initializes a filesystem on the device and returns it mounted.
+func Format(clk *vclock.Clock, dev Device) (*FS, error) {
+	if dev.NumZones() < mdSegments+2 {
+		return nil, errors.New("lfs: device too small")
+	}
+	fs := newFS(clk, dev)
+	// Reset everything (the device may hold a previous filesystem).
+	for z := 0; z < dev.NumZones(); z++ {
+		if err := dev.ResetZone(z); err != nil {
+			return nil, err
+		}
+	}
+	for i := range fs.segs {
+		if i < mdSegments {
+			fs.segs[i] = segInfo{state: segMeta}
+		} else {
+			fs.segs[i] = segInfo{state: segFree}
+			fs.free = append(fs.free, i)
+		}
+	}
+	fs.mu.Lock()
+	err := fs.checkpointLocked()
+	fs.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+func newFS(clk *vclock.Clock, dev Device) *FS {
+	fs := &FS{
+		dev:   dev,
+		clk:   clk,
+		block: dev.SectorSize(),
+		segSz: dev.ZoneSectors(),
+		files: make(map[string]*File),
+		segs:  make([]segInfo, dev.NumZones()),
+		rmap:  make(map[int64]blockOwner),
+	}
+	fs.cond = clk.NewCond(&fs.mu)
+	fs.ordCond = clk.NewCond(&fs.ordMu)
+	for t := range fs.active {
+		fs.active[t] = -1
+	}
+	return fs
+}
+
+func (fs *FS) segStart(seg int) int64 { return int64(seg) * fs.segSz }
+
+// Create creates an empty file with the given temperature hint.
+func (fs *FS) Create(name string, temp Temp) (*File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := fs.files[name]; ok {
+		return nil, ErrExist
+	}
+	f := &File{fs: fs, name: name, temp: temp, tailAt: 0}
+	fs.files[name] = f
+	return f, nil
+}
+
+// Open returns an existing file.
+func (fs *FS) Open(name string) (*File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if f, ok := fs.files[name]; ok {
+		return f, nil
+	}
+	return nil, ErrNotExist
+}
+
+// Exists reports whether the file exists.
+func (fs *FS) Exists(name string) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, ok := fs.files[name]
+	return ok
+}
+
+// List returns all file names, sorted.
+func (fs *FS) List() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Delete removes a file, invalidating its blocks.
+func (fs *FS) Delete(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return ErrNotExist
+	}
+	for _, lba := range f.blocks {
+		fs.invalidateLocked(lba)
+	}
+	f.blocks = nil
+	delete(fs.files, name)
+	return nil
+}
+
+// Rename renames a file, replacing any existing target (RocksDB-style
+// atomic manifest swap).
+func (fs *FS) Rename(old, new string) error {
+	fs.mu.Lock()
+	f, ok := fs.files[old]
+	if !ok {
+		fs.mu.Unlock()
+		return ErrNotExist
+	}
+	victim := fs.files[new]
+	if victim != nil {
+		for _, lba := range victim.blocks {
+			fs.invalidateLocked(lba)
+		}
+	}
+	delete(fs.files, old)
+	f.name = new
+	fs.files[new] = f
+	fs.mu.Unlock()
+	return nil
+}
+
+func (fs *FS) invalidateLocked(lba int64) {
+	if lba < 0 {
+		return
+	}
+	seg := int(lba / fs.segSz)
+	fs.segs[seg].valid--
+	delete(fs.rmap, lba)
+}
+
+// cleanReserve is the number of free segments kept back for the
+// cleaner's relocations: a victim's live blocks need somewhere to go, so
+// cleaning must start before the pool is empty (the classic LFS reserved
+// segments).
+const cleanReserve = 2
+
+// allocBlockLocked returns the next log block for temperature t,
+// rotating to a fresh segment (and cleaning if needed) when the active
+// one fills.
+func (fs *FS) allocBlockLocked(t Temp) (int64, error) {
+	for {
+		if fs.active[t] >= 0 {
+			seg := fs.active[t]
+			si := &fs.segs[seg]
+			if si.used < fs.segSz {
+				lba := fs.segStart(seg) + si.used
+				si.used++
+				si.valid++
+				return lba, nil
+			}
+			si.state = segFull
+			fs.active[t] = -1
+		}
+		if len(fs.free) <= cleanReserve {
+			err := fs.cleanLocked()
+			if err == nil {
+				continue
+			}
+			// Nothing cleanable: dip into the reserve rather than fail
+			// a filesystem that still has space.
+			if err != ErrNoSpace || len(fs.free) == 0 {
+				return -1, err
+			}
+		}
+		seg := fs.free[len(fs.free)-1]
+		fs.free = fs.free[:len(fs.free)-1]
+		fs.segs[seg] = segInfo{state: segActive}
+		fs.active[t] = seg
+	}
+}
+
+// Append appends p to the file. Full blocks are written immediately; the
+// unaligned tail is buffered until Sync or until it fills.
+func (f *File) Append(p []byte) error {
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return ErrClosed
+	}
+	bs := int64(fs.block)
+	for len(p) > 0 {
+		n := bs - int64(len(f.tail))
+		if n > int64(len(p)) {
+			n = int64(len(p))
+		}
+		f.tail = append(f.tail, p[:n]...)
+		p = p[n:]
+		f.size += n
+		if int64(len(f.tail)) == bs {
+			if err := f.writeTailLocked(false); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeTailLocked writes the tail buffer as one (possibly padded) block
+// at a fresh log location. If pad is false the tail must be exactly one
+// block. Caller holds fs.mu.
+func (f *File) writeTailLocked(pad bool) error {
+	fs := f.fs
+	bs := int64(fs.block)
+	if len(f.tail) == 0 {
+		return nil
+	}
+	lba, err := fs.allocBlockLocked(f.temp)
+	if err != nil {
+		return err
+	}
+	// Snapshot the tail: the submit happens after the ordering gate and
+	// the pipeline keeps running, so the payload must not alias the
+	// reusable tail buffer.
+	blk := append([]byte(nil), f.tail...)
+	if pad && int64(len(blk)) < bs {
+		blk = append(blk, make([]byte, bs-int64(len(blk)))...)
+	}
+	// Relocate: invalidate the previous version of this block, if any.
+	for int64(len(f.blocks)) <= f.tailAt {
+		f.blocks = append(f.blocks, -1)
+	}
+	fs.invalidateLocked(f.blocks[f.tailAt])
+	f.blocks[f.tailAt] = lba
+	fs.rmap[lba] = blockOwner{file: f, idx: f.tailAt}
+	ticket := fs.takeTicketLocked()
+
+	fs.mu.Unlock()
+	fut := fs.submitOrdered(ticket, lba, blk)
+	fs.mu.Lock()
+	f.pending = append(f.pending, fut)
+	if len(f.pending) > maxPending {
+		head := f.pending[0]
+		f.pending = f.pending[1:]
+		fs.mu.Unlock()
+		err := head.Wait()
+		fs.mu.Lock()
+		if err != nil && f.wErr == nil {
+			f.wErr = err
+		}
+	}
+	if f.wErr != nil {
+		err := f.wErr
+		f.wErr = nil
+		return err
+	}
+	if int64(len(f.tail)) == bs {
+		f.tail = f.tail[:0]
+		f.tailAt++
+	}
+	return nil
+}
+
+// Size returns the file size in bytes.
+func (f *File) Size() int64 {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	return f.size
+}
+
+// ReadAt reads len(p) bytes at byte offset off. Reads past EOF return
+// io-style short data as an error.
+func (f *File) ReadAt(p []byte, off int64) error {
+	fs := f.fs
+	fs.mu.Lock()
+	if off < 0 || off+int64(len(p)) > f.size {
+		fs.mu.Unlock()
+		return fmt.Errorf("lfs: read [%d,%d) beyond EOF %d of %s", off, off+int64(len(p)), f.size, f.name)
+	}
+	bs := int64(fs.block)
+	type pending struct {
+		fut *vclock.Future
+		tmp []byte // whole-block buffer for partial reads (nil = direct)
+		dst []byte
+		bo  int64
+	}
+	var reads []pending
+	out := p
+	pos := off
+	for len(out) > 0 {
+		bi := pos / bs
+		bo := pos % bs
+		n := bs - bo
+		if n > int64(len(out)) {
+			n = int64(len(out))
+		}
+		switch {
+		case bi == f.tailAt && bo < int64(len(f.tail)):
+			// Served from the in-memory tail.
+			copy(out[:n], f.tail[bo:bo+n])
+		case bo == 0 && n == bs:
+			// Aligned full block: read straight into the caller's buf.
+			reads = append(reads, pending{fut: fs.dev.SubmitRead(f.blocks[bi], out[:n])})
+		default:
+			// Partial block: read the whole block, copy the slice out.
+			tmp := make([]byte, bs)
+			reads = append(reads, pending{
+				fut: fs.dev.SubmitRead(f.blocks[bi], tmp),
+				tmp: tmp, dst: out[:n], bo: bo,
+			})
+		}
+		pos += n
+		out = out[n:]
+	}
+	fs.mu.Unlock()
+	var firstErr error
+	for _, r := range reads {
+		if err := r.fut.Wait(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if r.tmp != nil {
+			copy(r.dst, r.tmp[r.bo:r.bo+int64(len(r.dst))])
+		}
+	}
+	return firstErr
+}
+
+// Sync makes the file's current content durable: the buffered tail is
+// written (padded), the device cache flushed, and the file table
+// checkpointed so the content survives remount.
+func (f *File) Sync() error {
+	fs := f.fs
+	fs.mu.Lock()
+	if fs.closed {
+		fs.mu.Unlock()
+		return ErrClosed
+	}
+	if err := f.writeTailLocked(true); err != nil {
+		fs.mu.Unlock()
+		return err
+	}
+	if err := f.drainPendingLocked(); err != nil {
+		fs.mu.Unlock()
+		return err
+	}
+	err := fs.checkpointLocked()
+	fs.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return fs.dev.Flush()
+}
+
+// Sync checkpoints the filesystem metadata and flushes the device.
+func (fs *FS) Sync() error {
+	fs.mu.Lock()
+	if fs.closed {
+		fs.mu.Unlock()
+		return ErrClosed
+	}
+	// Snapshot the file set: writeTailLocked releases the lock around
+	// device IO, so the map must not be ranged directly.
+	files := make([]*File, 0, len(fs.files))
+	for _, f := range fs.files {
+		files = append(files, f)
+	}
+	for _, f := range files {
+		if err := f.writeTailLocked(true); err != nil {
+			fs.mu.Unlock()
+			return err
+		}
+		if err := f.drainPendingLocked(); err != nil {
+			fs.mu.Unlock()
+			return err
+		}
+	}
+	err := fs.checkpointLocked()
+	fs.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return fs.dev.Flush()
+}
+
+// Close checkpoints and marks the filesystem unusable.
+func (fs *FS) Close() error {
+	if err := fs.Sync(); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	fs.closed = true
+	fs.mu.Unlock()
+	return nil
+}
+
+// FreeSegments returns the current number of free data segments.
+func (fs *FS) FreeSegments() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return len(fs.free)
+}

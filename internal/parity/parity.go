@@ -1,0 +1,79 @@
+// Package parity implements the XOR erasure coding used by RAID-5-style
+// arrays: encoding a parity unit over D data units and reconstructing any
+// single missing unit from the survivors.
+package parity
+
+import "fmt"
+
+// XORInto xors src into dst in place. The slices must be the same length.
+func XORInto(dst, src []byte) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("parity: length mismatch %d != %d", len(dst), len(src)))
+	}
+	// Word-at-a-time main loop; the tail is handled bytewise.
+	n := len(dst)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		d := dst[i : i+8 : i+8]
+		s := src[i : i+8 : i+8]
+		d[0] ^= s[0]
+		d[1] ^= s[1]
+		d[2] ^= s[2]
+		d[3] ^= s[3]
+		d[4] ^= s[4]
+		d[5] ^= s[5]
+		d[6] ^= s[6]
+		d[7] ^= s[7]
+	}
+	for ; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// Encode computes the XOR parity of units into a freshly allocated slice.
+// All units must have equal length; Encode panics otherwise. Encode of no
+// units returns nil.
+func Encode(units ...[]byte) []byte {
+	if len(units) == 0 {
+		return nil
+	}
+	p := make([]byte, len(units[0]))
+	copy(p, units[0])
+	for _, u := range units[1:] {
+		XORInto(p, u)
+	}
+	return p
+}
+
+// EncodeInto computes the XOR parity of units into dst (which must match
+// the unit length). It avoids allocation on hot paths.
+func EncodeInto(dst []byte, units ...[]byte) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for _, u := range units {
+		XORInto(dst, u)
+	}
+}
+
+// Reconstruct recovers the single missing unit given the D-1 surviving
+// data units and the parity unit. XOR reconstruction is symmetric, so the
+// caller simply passes every surviving unit (data and parity alike).
+func Reconstruct(survivors ...[]byte) []byte {
+	return Encode(survivors...)
+}
+
+// EncodeRagged computes parity over units that may be shorter than width;
+// missing bytes are treated as zeroes, exactly as RAIZN treats the
+// unwritten tail of a partially written stripe. The result has length
+// width. Units longer than width panic.
+func EncodeRagged(width int, units ...[]byte) []byte {
+	p := make([]byte, width)
+	for _, u := range units {
+		if len(u) > width {
+			panic(fmt.Sprintf("parity: unit length %d exceeds width %d", len(u), width))
+		}
+		XORInto(p[:len(u)], u)
+	}
+	return p
+}

@@ -1,0 +1,91 @@
+package raizn
+
+import (
+	"raizn/internal/vclock"
+	"raizn/internal/zns"
+)
+
+// SubmitAppend is the logical zone-append command: the volume assigns the
+// write position (the logical zone's write pointer) and returns it with
+// the completion future.
+//
+// Per §5.4, concurrent appends to one logical zone cannot be reordered
+// freely the way a single device reorders them — an on-device reordering
+// of stripe units would be unrecoverable after a crash — so RAIZN
+// serializes appends per logical zone: the position is assigned under the
+// zone lock and the data takes the ordinary write path. Appends to
+// different zones proceed concurrently.
+func (v *Volume) SubmitAppend(zone int, data []byte, flags zns.Flag) (int64, *vclock.Future) {
+	if zone < 0 || zone >= v.lt.numZones {
+		return -1, v.clk.Completed(ErrOutOfRange)
+	}
+	if len(data) == 0 || len(data)%v.sectorSize != 0 {
+		return -1, v.clk.Completed(ErrUnaligned)
+	}
+	nSectors := int64(len(data) / v.sectorSize)
+	if v.ReadOnly() {
+		return -1, v.clk.Completed(ErrReadOnly)
+	}
+
+	lz := v.zones[zone]
+	lz.mu.Lock()
+	for lz.resetting {
+		lz.cond.Wait()
+	}
+	if lz.state == zns.ZoneFull {
+		lz.mu.Unlock()
+		return -1, v.clk.Completed(ErrZoneFull)
+	}
+	off := lz.wp
+	if off+nSectors > v.lt.zoneSectors() {
+		lz.mu.Unlock()
+		return -1, v.clk.Completed(ErrZoneBoundary)
+	}
+	if lz.state == zns.ZoneEmpty || lz.state == zns.ZoneClosed {
+		if err := v.openZoneSlot(lz); err != nil {
+			lz.mu.Unlock()
+			return -1, v.clk.Completed(err)
+		}
+	}
+	lba := v.lt.zoneStart(zone) + off
+	lz.wp = off + nSectors
+	full := lz.wp == v.lt.zoneSectors()
+	v.stats.logicalWriteBytes.Add(int64(len(data)))
+
+	futs, pending, err := v.issueWriteLocked(lz, off, data, flags)
+	if full && err == nil {
+		v.closeZoneSlot(lz, zns.ZoneFull)
+	}
+	lz.mu.Unlock()
+	if err != nil {
+		return -1, v.clk.Completed(err)
+	}
+	futs = append(futs, v.issuePendingMD(pending)...)
+
+	result := v.clk.NewFuture()
+	end := off + nSectors
+	v.clk.Go(func() {
+		if err := v.awaitSubIOs(futs); err != nil {
+			v.mu.Lock()
+			v.readOnly = true
+			v.mu.Unlock()
+			result.Complete(err)
+			return
+		}
+		if flags&(zns.FUA|zns.Preflush) != 0 {
+			if err := v.persistUpTo(lz, end); err != nil {
+				result.Complete(err)
+				return
+			}
+		}
+		result.Complete(nil)
+	})
+	return lba, result
+}
+
+// Append appends data to the logical zone and blocks until completion,
+// returning the LBA the data landed at.
+func (v *Volume) Append(zone int, data []byte, flags zns.Flag) (int64, error) {
+	lba, fut := v.SubmitAppend(zone, data, flags)
+	return lba, fut.Wait()
+}

@@ -1,0 +1,103 @@
+package raizn
+
+import (
+	"testing"
+
+	"raizn/internal/vclock"
+	"raizn/internal/zns"
+)
+
+func TestAppendAssignsSequentialLBAs(t *testing.T) {
+	runVol(t, func(c *vclock.Clock, v *Volume, devs []*zns.Device) {
+		lba1, err := v.Append(0, lbaPattern(v, 0, 8), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lba2, err := v.Append(0, lbaPattern(v, 8, 8), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lba1 != 0 || lba2 != 8 {
+			t.Errorf("assigned LBAs %d, %d; want 0, 8", lba1, lba2)
+		}
+		checkReadV(t, v, 0, 16)
+	})
+}
+
+func TestConcurrentAppendsSerialize(t *testing.T) {
+	runVol(t, func(c *vclock.Clock, v *Volume, devs []*zns.Device) {
+		const n = 16
+		wg := c.NewWaitGroup()
+		lbas := make([]int64, n)
+		for i := 0; i < n; i++ {
+			i := i
+			wg.Add(1)
+			c.Go(func() {
+				defer wg.Done()
+				lba, fut := v.SubmitAppend(1, make([]byte, 4*v.SectorSize()), 0)
+				if err := fut.Wait(); err != nil {
+					t.Errorf("append %d: %v", i, err)
+				}
+				lbas[i] = lba
+			})
+		}
+		wg.Wait()
+		// All assignments are distinct, 4-sector aligned, and cover
+		// exactly [zoneStart, zoneStart+64).
+		zs := v.ZoneSectors()
+		seen := map[int64]bool{}
+		for _, lba := range lbas {
+			if lba < zs || lba >= zs+4*n {
+				t.Fatalf("append landed at %d, outside the expected range", lba)
+			}
+			if seen[lba] {
+				t.Fatalf("duplicate append LBA %d", lba)
+			}
+			seen[lba] = true
+		}
+		if wp := v.Zone(1).WP - zs; wp != 4*n {
+			t.Errorf("zone WP = %d, want %d", wp, 4*n)
+		}
+	})
+}
+
+func TestAppendToFullZone(t *testing.T) {
+	runVol(t, func(c *vclock.Clock, v *Volume, devs []*zns.Device) {
+		mustWriteV(t, v, 0, int(v.ZoneSectors()), 0)
+		if _, err := v.Append(0, make([]byte, v.SectorSize()), 0); err != ErrZoneFull {
+			t.Errorf("append to full zone error = %v", err)
+		}
+	})
+}
+
+func TestAppendBeyondCapacityRejected(t *testing.T) {
+	runVol(t, func(c *vclock.Clock, v *Volume, devs []*zns.Device) {
+		mustWriteV(t, v, 0, int(v.ZoneSectors())-2, 0)
+		if _, err := v.Append(0, make([]byte, 4*v.SectorSize()), 0); err != ErrZoneBoundary {
+			t.Errorf("oversized append error = %v", err)
+		}
+		// An exactly-fitting append succeeds.
+		if _, err := v.Append(0, make([]byte, 2*v.SectorSize()), 0); err != nil {
+			t.Errorf("fitting append error = %v", err)
+		}
+	})
+}
+
+func TestAppendSurvivesCrash(t *testing.T) {
+	runVol(t, func(c *vclock.Clock, v *Volume, devs []*zns.Device) {
+		for i := int64(0); i < 10; i++ {
+			if _, err := v.Append(0, lbaPattern(v, i*4, 4), 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		v.Flush()
+		for _, d := range devs {
+			d.PowerLoss(nil)
+		}
+		v2 := remount(t, c, devs)
+		if wp := v2.Zone(0).WP; wp != 40 {
+			t.Errorf("WP = %d, want 40", wp)
+		}
+		checkReadV(t, v2, 0, 40)
+	})
+}

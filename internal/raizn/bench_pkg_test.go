@@ -1,0 +1,121 @@
+package raizn
+
+import (
+	"testing"
+
+	"raizn/internal/vclock"
+	"raizn/internal/zns"
+)
+
+// Package benchmarks measure the HOST-side cost of the simulation (ns/op
+// of real CPU per simulated IO), not device performance — device timing
+// is virtual. They bound how large an experiment the harness can run.
+
+func benchVolume(b *testing.B, fn func(c *vclock.Clock, v *Volume)) {
+	b.Helper()
+	c := vclock.New()
+	c.Run(func() {
+		cfg := zns.DefaultConfig()
+		cfg.DiscardData = true
+		devs := make([]*zns.Device, 5)
+		for i := range devs {
+			devs[i] = zns.NewDevice(c, cfg)
+		}
+		v, err := Create(c, devs, DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		fn(c, v)
+	})
+}
+
+func BenchmarkVolumeWrite4K(b *testing.B) {
+	benchVolume(b, func(c *vclock.Clock, v *Volume) {
+		buf := make([]byte, 4096)
+		zs := v.ZoneSectors()
+		var lba int64
+		b.SetBytes(4096)
+		for i := 0; i < b.N; i++ {
+			if lba%zs == 0 && lba > 0 && lba/zs >= int64(v.NumZones()) {
+				b.StopTimer()
+				for z := 0; z < v.NumZones(); z++ {
+					v.ResetZone(z)
+				}
+				lba = 0
+				b.StartTimer()
+			}
+			if err := v.Write(lba, buf, 0); err != nil {
+				b.Fatal(err)
+			}
+			lba++
+			if lba >= v.NumSectors() {
+				b.StopTimer()
+				for z := 0; z < v.NumZones(); z++ {
+					v.ResetZone(z)
+				}
+				lba = 0
+				b.StartTimer()
+			}
+		}
+	})
+}
+
+func BenchmarkVolumeWriteStripe(b *testing.B) {
+	benchVolume(b, func(c *vclock.Clock, v *Volume) {
+		buf := make([]byte, v.StripeSectors()*int64(v.SectorSize()))
+		b.SetBytes(int64(len(buf)))
+		var lba int64
+		for i := 0; i < b.N; i++ {
+			if lba+v.StripeSectors() > v.NumSectors() {
+				b.StopTimer()
+				for z := 0; z < v.NumZones(); z++ {
+					v.ResetZone(z)
+				}
+				lba = 0
+				b.StartTimer()
+			}
+			if err := v.Write(lba, buf, 0); err != nil {
+				b.Fatal(err)
+			}
+			lba += v.StripeSectors()
+		}
+	})
+}
+
+func BenchmarkVolumeRead64K(b *testing.B) {
+	benchVolume(b, func(c *vclock.Clock, v *Volume) {
+		init := make([]byte, v.ZoneSectors()*int64(v.SectorSize()))
+		if err := v.Write(0, init, 0); err != nil {
+			b.Fatal(err)
+		}
+		buf := make([]byte, 64<<10)
+		n := v.ZoneSectors() - 16
+		b.SetBytes(int64(len(buf)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := v.Read(int64(i)%n, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkDegradedRead64K(b *testing.B) {
+	benchVolume(b, func(c *vclock.Clock, v *Volume) {
+		init := make([]byte, v.ZoneSectors()*int64(v.SectorSize()))
+		if err := v.Write(0, init, 0); err != nil {
+			b.Fatal(err)
+		}
+		v.FailDevice(0)
+		buf := make([]byte, 64<<10)
+		n := v.ZoneSectors() - 16
+		b.SetBytes(int64(len(buf)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := v.Read(int64(i)%n, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,282 @@
+package raizn
+
+import (
+	"raizn/internal/vclock"
+	"raizn/internal/zns"
+)
+
+// checkpointRecords produces the live metadata records of the given kind
+// for device dev, serialized from memory — the metadata garbage
+// collector's input (paper Fig. 4: "the garbage collector checkpoints any
+// valid in-memory metadata to the swap zone, and does not read any logs
+// from SSD").
+func (v *Volume) checkpointRecords(dev int, kind mdKind) []*record {
+	var out []*record
+	switch kind {
+	case mdGeneral:
+		// Superblock.
+		sb := superblock{
+			version:   1,
+			arrayID:   v.arrayID,
+			numDev:    uint32(v.lt.n),
+			devIndex:  uint32(dev),
+			su:        v.lt.su,
+			physZones: uint32(v.lt.numZones + v.lt.mdZones),
+			mdZones:   uint32(v.lt.mdZones),
+		}
+		out = append(out, &record{typ: recSuperblock, gen: v.nextMDSeq(), inline: sb.encode()})
+
+		// Generation counters.
+		v.mu.Lock()
+		gens := append([]uint64(nil), v.gen...)
+		pendingWALs := make(map[int]uint64, len(v.pendingWALs))
+		for z, g := range v.pendingWALs {
+			pendingWALs[z] = g
+		}
+		v.mu.Unlock()
+		nBlocks := (len(gens) + gensPerBlock - 1) / gensPerBlock
+		for b := 0; b < nBlocks; b++ {
+			out = append(out, &record{
+				typ:    recGenCounters,
+				gen:    v.nextMDSeq(),
+				inline: encodeGenBlock(b, gens),
+			})
+		}
+
+		// In-flight zone-reset WALs that are still authoritative.
+		for z, g := range pendingWALs {
+			if g == gens[z] {
+				out = append(out, &record{
+					typ:      recResetWAL,
+					startLBA: v.lt.zoneStart(z),
+					endLBA:   v.lt.zoneStart(z) + v.lt.zoneSectors(),
+					gen:      g,
+					inline:   encodeResetWAL(z),
+				})
+			}
+		}
+
+		// Relocated fragments whose payload lives on this device.
+		v.relocMu.Lock()
+		for z, list := range v.reloc {
+			for _, e := range list {
+				if e.dev != dev {
+					continue
+				}
+				out = append(out, &record{
+					typ: recRelocData, startLBA: e.startLBA, endLBA: e.endLBA,
+					gen: gens[z], payload: e.data,
+				})
+			}
+		}
+		for z, m := range v.parityReloc {
+			for _, e := range m {
+				if e.dev != dev {
+					continue
+				}
+				out = append(out, &record{
+					typ: recRelocParity, startLBA: e.startLBA, endLBA: e.endLBA,
+					gen: gens[z], payload: e.data,
+				})
+			}
+		}
+		v.relocMu.Unlock()
+
+	case mdParity:
+		// Partial parity for every in-progress stripe whose parity this
+		// device will hold, recomputed from the stripe buffers ("the
+		// latter of which is calculated by XOR'ing the contents of the
+		// stripe buffer of each open logical zone", §4.3).
+		//
+		// NOTE: callers must not hold any zone lock (metadata appends
+		// are issued outside zone locks precisely so this is safe).
+		for z, lz := range v.zones {
+			lz.mu.Lock()
+			for s, buf := range lz.active {
+				if v.lt.parityDev(z, s) != dev || buf.fill == 0 {
+					continue
+				}
+				img := v.parityImageLocked(buf, v.lt.intraRegions(0, buf.fill))
+				out = append(out, &record{
+					typ:      recPartialParity,
+					startLBA: v.lt.stripeStart(z, s),
+					endLBA:   v.lt.stripeStart(z, s) + buf.fill,
+					gen:      v.Generation(z),
+					payload:  img,
+				})
+			}
+			lz.mu.Unlock()
+		}
+	}
+	return out
+}
+
+// consolidateMetadata rewrites every device's metadata zones from the
+// in-memory state recovered at mount, re-establishing the zone roles
+// (general / partial parity / swap). It never resets a zone before its
+// live content is durably re-checkpointed elsewhere, so a crash at any
+// point leaves at least one complete copy:
+//
+//  1. Find a resettable zone R1: an empty metadata zone, or — when an
+//     interrupted metadata GC left none empty — a zone holding only
+//     checkpoint-flagged records (which are by construction duplicates
+//     of a source zone that still exists).
+//  2. Write the general checkpoint into R1 and flush.
+//  3. Reset every other zone holding general records (now duplicates).
+//  4. Write the partial-parity checkpoint into a now-empty zone R2 and
+//     flush, then reset the remaining non-empty metadata zones.
+func (v *Volume) consolidateMetadata() error {
+	for dev := range v.devs {
+		d := v.devs[dev]
+		if d == nil {
+			continue
+		}
+		if err := v.consolidateDevice(dev, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type mdZoneInfo struct {
+	phys       int
+	empty      bool
+	hasGeneral bool
+	hasParity  bool
+	allCkpt    bool
+}
+
+func (v *Volume) classifyMDZones(dev *zns.Device) ([]mdZoneInfo, error) {
+	recs, err := scanMDZones(dev, v.lt, v.sectorSize)
+	if err != nil {
+		return nil, err
+	}
+	infos := make([]mdZoneInfo, v.lt.mdZones)
+	for i := range infos {
+		z := v.lt.mdZoneIndex(i)
+		zd := dev.Zone(z)
+		infos[i] = mdZoneInfo{
+			phys:    z,
+			empty:   zd.WP == dev.ZoneStart(z) && zd.State != zns.ZoneFull,
+			allCkpt: true,
+		}
+	}
+	for i := range recs {
+		r := &recs[i]
+		zi := int(r.pba/v.lt.physZoneSize) - v.lt.numZones
+		if zi < 0 || zi >= len(infos) {
+			continue
+		}
+		if kindOf(r.typ) == mdParity {
+			infos[zi].hasParity = true
+		} else {
+			infos[zi].hasGeneral = true
+		}
+		if r.typ&recCheckpoint == 0 {
+			infos[zi].allCkpt = false
+		}
+	}
+	return infos, nil
+}
+
+func (v *Volume) consolidateDevice(dev int, d *zns.Device) error {
+	infos, err := v.classifyMDZones(d)
+	if err != nil {
+		return err
+	}
+
+	// Step 1: pick R1.
+	r1 := -1
+	for i, inf := range infos {
+		if inf.empty {
+			r1 = i
+			break
+		}
+	}
+	if r1 == -1 {
+		for i, inf := range infos {
+			if inf.allCkpt {
+				r1 = i
+				break
+			}
+		}
+		if r1 == -1 {
+			return errMDFull
+		}
+		if err := d.ResetZone(infos[r1].phys).Wait(); err != nil {
+			return err
+		}
+	}
+
+	// Step 2: general checkpoint into R1.
+	if err := v.writeCheckpoint(d, infos[r1].phys, dev, mdGeneral); err != nil {
+		return err
+	}
+
+	// Step 3: reset every other zone with general records.
+	for i, inf := range infos {
+		if i != r1 && inf.hasGeneral {
+			if err := d.ResetZone(inf.phys).Wait(); err != nil {
+				return err
+			}
+			infos[i].empty = true
+			infos[i].hasGeneral = false
+		}
+	}
+
+	// Step 4: partial-parity checkpoint into a fresh zone, then clear
+	// the old parity zones.
+	r2 := -1
+	for i, inf := range infos {
+		if i != r1 && inf.empty {
+			r2 = i
+			break
+		}
+	}
+	if r2 == -1 {
+		return errMDFull
+	}
+	if err := v.writeCheckpoint(d, infos[r2].phys, dev, mdParity); err != nil {
+		return err
+	}
+	for i, inf := range infos {
+		if i != r1 && i != r2 && inf.hasParity {
+			if err := d.ResetZone(inf.phys).Wait(); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Install the recovered roles.
+	m := newMDManager(v, dev)
+	m.active[mdGeneral] = infos[r1].phys
+	m.active[mdParity] = infos[r2].phys
+	m.swap = m.swap[:0]
+	for i, inf := range infos {
+		if i != r1 && i != r2 {
+			m.swap = append(m.swap, inf.phys)
+		}
+	}
+	v.mu.Lock()
+	v.md[dev] = m
+	v.mu.Unlock()
+
+	// Relocation records rewritten by the checkpoint now live at new
+	// PBAs; refresh the in-memory pointers is unnecessary because reads
+	// are served from the cached payloads, and the next mount re-learns
+	// the PBAs from the checkpoint records.
+	return nil
+}
+
+// writeCheckpoint appends the checkpoint records of one kind into the
+// given physical zone and flushes the device.
+func (v *Volume) writeCheckpoint(d *zns.Device, phys int, dev int, kind mdKind) error {
+	var futs []*vclock.Future
+	for _, r := range v.checkpointRecords(dev, kind) {
+		r.typ |= recCheckpoint
+		_, fut := d.Append(phys, r.encode(v.sectorSize), 0)
+		futs = append(futs, fut)
+	}
+	futs = append(futs, d.Flush())
+	return vclock.WaitAll(futs...)
+}

@@ -1,0 +1,129 @@
+package raizn
+
+import (
+	"testing"
+
+	"raizn/internal/vclock"
+	"raizn/internal/zns"
+)
+
+// buildRemappedZone puts zone 0 into the Figure-1 aftermath: truncated at
+// one stripe with persisted debris, then rewritten so fragments exist.
+func buildRemappedZone(t *testing.T, c *vclock.Clock, devs []*zns.Device, cfg Config) *Volume {
+	t.Helper()
+	v, err := Create(c, devs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustWriteV(t, v, 0, 64, 0)
+	v.Flush()
+	mustWriteV(t, v, 64, 48, 0)
+	d0 := v.lt.dataDev(0, 1, 0)
+	d1 := v.lt.dataDev(0, 1, 1)
+	for i, d := range devs {
+		m := map[int]int64{}
+		for z := 0; z < d.Config().NumZones; z++ {
+			zd := d.Zone(z)
+			m[z] = zd.WP - d.ZoneStart(z)
+		}
+		if i == d0 || i == d1 {
+			m[0] = 16
+		}
+		if i == v.lt.parityDev(0, 1) {
+			for mz := 0; mz < v.lt.mdZones; mz++ {
+				z := v.lt.mdZoneIndex(mz)
+				zd := d.Zone(z)
+				m[z] = zd.PersistedWP - d.ZoneStart(z)
+			}
+		}
+		d.PowerLossAt(m)
+	}
+	v2, err := Mount(c, devs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustWriteV(t, v2, 64, 128, 0) // relocates the collision, fills stripes 1-2
+	if v2.RelocationCount() == 0 {
+		t.Fatal("setup produced no relocations")
+	}
+	if err := v2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return v2
+}
+
+func TestRelocationThresholdCompactsAtMount(t *testing.T) {
+	c := vclock.New()
+	c.Run(func() {
+		devs := newTestDevices(c, 5)
+		cfg := DefaultConfig()
+		cfg.RelocationThreshold = 1 // compact on the first fragment
+		buildRemappedZone(t, c, devs, cfg)
+
+		v3, err := Mount(c, devs, cfg)
+		if err != nil {
+			t.Fatalf("compacting mount: %v", err)
+		}
+		if v3.RelocationCount() != 0 {
+			t.Errorf("fragments remain after compaction: %d", v3.RelocationCount())
+		}
+		if v3.Zone(0).Remapped {
+			t.Error("zone still flagged remapped after compaction")
+		}
+		checkReadV(t, v3, 0, 192)
+
+		// The data is now at its arithmetic home: degraded reads work
+		// even though the fragment payloads (which lived on specific
+		// devices) are gone.
+		v3.FailDevice(v3.lt.dataDev(0, 1, 2))
+		checkReadV(t, v3, 0, 192)
+	})
+}
+
+func TestRelocationBelowThresholdLeftAlone(t *testing.T) {
+	c := vclock.New()
+	c.Run(func() {
+		devs := newTestDevices(c, 5)
+		cfg := DefaultConfig()
+		cfg.RelocationThreshold = 100 // never triggers here
+		buildRemappedZone(t, c, devs, cfg)
+
+		v3, err := Mount(c, devs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v3.RelocationCount() == 0 {
+			t.Error("fragments unexpectedly compacted below threshold")
+		}
+		checkReadV(t, v3, 0, 192)
+	})
+}
+
+func TestCompactionSurvivesSubsequentCrash(t *testing.T) {
+	c := vclock.New()
+	c.Run(func() {
+		devs := newTestDevices(c, 5)
+		cfg := DefaultConfig()
+		cfg.RelocationThreshold = 1
+		buildRemappedZone(t, c, devs, cfg)
+
+		v3, err := Mount(c, devs, cfg) // compacts
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkReadV(t, v3, 0, 192)
+		mustWriteV(t, v3, 192, 30, 0)
+		v3.Flush()
+		for _, d := range devs {
+			d.PowerLoss(nil)
+		}
+		v4, err := Mount(c, devs, cfg)
+		if err != nil {
+			t.Fatalf("mount after post-compaction crash: %v", err)
+		}
+		if wp := v4.Zone(0).WP; wp < 222 {
+			t.Errorf("WP=%d, want >= 222", wp)
+		}
+		checkReadV(t, v4, 0, 222)
+	})
+}

@@ -1,0 +1,114 @@
+package raizn
+
+import (
+	"testing"
+
+	"raizn/internal/vclock"
+	"raizn/internal/zns"
+)
+
+// TestAutoDegradeOnDeviceDeath kills a device out from under the volume
+// (no FailDevice call): the next IO's sub-IO errors must fold into
+// degraded mode and the IO must still succeed.
+func TestAutoDegradeOnDeviceDeath(t *testing.T) {
+	runVol(t, func(c *vclock.Clock, v *Volume, devs []*zns.Device) {
+		mustWriteV(t, v, 0, 64, 0)
+		devs[2].Fail() // the volume has not been told
+		// Writes hit the dead device, tolerate it, and degrade.
+		mustWriteV(t, v, 64, 64, 0)
+		if v.Degraded() != 2 {
+			t.Errorf("Degraded() = %d, want 2 (auto-detected)", v.Degraded())
+		}
+		checkReadV(t, v, 0, 128)
+	})
+}
+
+// TestAutoDegradeOnReadError: the first read against a silently dead
+// device returns an error and flips the volume to degraded; the retry
+// takes the reconstruction path.
+func TestAutoDegradeOnReadError(t *testing.T) {
+	runVol(t, func(c *vclock.Clock, v *Volume, devs []*zns.Device) {
+		mustWriteV(t, v, 0, 64, 0)
+		devs[1].Fail()
+		buf := make([]byte, 64*v.SectorSize())
+		err := v.Read(0, buf)
+		if err == nil && v.Degraded() != 1 {
+			t.Fatalf("read succeeded without degrading (degraded=%d)", v.Degraded())
+		}
+		// Retry after the volume noticed the death.
+		checkReadV(t, v, 0, 64)
+		if v.Degraded() != 1 {
+			t.Errorf("Degraded() = %d, want 1", v.Degraded())
+		}
+	})
+}
+
+// TestReplaceDeviceRejectsBadGeometry covers the rebuild abort path.
+func TestReplaceDeviceRejectsBadGeometry(t *testing.T) {
+	runVol(t, func(c *vclock.Clock, v *Volume, devs []*zns.Device) {
+		mustWriteV(t, v, 0, 64, 0)
+		v.FailDevice(0)
+		bad := testDevConfig()
+		bad.ZoneCap = 64 // mismatched
+		bad.ZoneSize = 80
+		if _, err := v.ReplaceDevice(zns.NewDevice(c, bad)); err == nil {
+			t.Fatal("mismatched replacement accepted")
+		}
+		// Still degraded and still serving reads.
+		if v.Degraded() != 0 {
+			t.Errorf("Degraded() = %d, want 0", v.Degraded())
+		}
+		checkReadV(t, v, 0, 64)
+		// A correct replacement still works afterwards.
+		if _, err := v.ReplaceDevice(zns.NewDevice(c, testDevConfig())); err != nil {
+			t.Fatalf("good replacement rejected: %v", err)
+		}
+		checkReadV(t, v, 0, 64)
+	})
+}
+
+// TestReplaceOnHealthyArrayRejected covers the not-degraded error.
+func TestReplaceOnHealthyArrayRejected(t *testing.T) {
+	runVol(t, func(c *vclock.Clock, v *Volume, devs []*zns.Device) {
+		if _, err := v.ReplaceDevice(zns.NewDevice(c, testDevConfig())); err == nil {
+			t.Error("replace on healthy array accepted")
+		}
+	})
+}
+
+// TestAccessors covers the remaining introspection surface.
+func TestAccessors(t *testing.T) {
+	runVol(t, func(c *vclock.Clock, v *Volume, devs []*zns.Device) {
+		if v.MaxOpenZones() <= 0 {
+			t.Error("MaxOpenZones not positive")
+		}
+		mustWriteV(t, v, 0, 10, 0)
+		zones := v.ReportZones()
+		if len(zones) != v.NumZones() {
+			t.Fatalf("ReportZones returned %d", len(zones))
+		}
+		if zones[0].State != zns.ZoneOpen {
+			t.Errorf("zone 0 state = %v", zones[0].State)
+		}
+		fp := v.Footprint()
+		if fp.Devices != 5 || fp.DataDevices != 4 || fp.StripeUnitBytes != 64<<10 {
+			t.Errorf("footprint = %+v", fp)
+		}
+		if err := v.Unmount(); err != nil {
+			t.Errorf("Unmount: %v", err)
+		}
+	})
+}
+
+// TestInsertRelocShadowing covers fragment replacement.
+func TestInsertRelocShadowing(t *testing.T) {
+	list := insertReloc(nil, relocEntry{startLBA: 10, endLBA: 20})
+	list = insertReloc(list, relocEntry{startLBA: 30, endLBA: 40})
+	list = insertReloc(list, relocEntry{startLBA: 5, endLBA: 25}) // shadows [10,20)
+	if len(list) != 2 {
+		t.Fatalf("len = %d, want 2 (shadowed fragment dropped)", len(list))
+	}
+	if list[0].startLBA != 5 || list[1].startLBA != 30 {
+		t.Errorf("order wrong: %+v", list)
+	}
+}

@@ -1,0 +1,201 @@
+package raizn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testLayout() *layout {
+	return &layout{
+		n: 5, d: 4, su: 16,
+		physZoneSize: 80, physZoneCap: 64,
+		numZones: 5, mdZones: 3,
+	}
+}
+
+func TestLayoutGeometry(t *testing.T) {
+	lt := testLayout()
+	if got := lt.stripeSectors(); got != 64 {
+		t.Errorf("stripeSectors = %d, want 64", got)
+	}
+	if got := lt.zoneSectors(); got != 256 {
+		t.Errorf("zoneSectors = %d, want 256", got)
+	}
+	if got := lt.stripesPerZone(); got != 4 {
+		t.Errorf("stripesPerZone = %d, want 4", got)
+	}
+	if got := lt.numSectors(); got != 1280 {
+		t.Errorf("numSectors = %d, want 1280", got)
+	}
+}
+
+func TestParityRotation(t *testing.T) {
+	lt := testLayout()
+	// Within a zone, consecutive stripes use different parity devices,
+	// cycling through all n devices.
+	seen := map[int]bool{}
+	for s := int64(0); s < int64(lt.n); s++ {
+		p := lt.parityDev(0, s)
+		if p < 0 || p >= lt.n {
+			t.Fatalf("parityDev out of range: %d", p)
+		}
+		seen[p] = true
+	}
+	if len(seen) != lt.n {
+		t.Errorf("parity rotation covered %d devices, want %d", len(seen), lt.n)
+	}
+	// Zone offset shifts the rotation (per-zone rotation, §5.2).
+	if lt.parityDev(0, 0) == lt.parityDev(1, 0) {
+		t.Error("parity rotation does not vary by zone")
+	}
+}
+
+func TestDataDevDisjointFromParity(t *testing.T) {
+	lt := testLayout()
+	for z := 0; z < lt.numZones; z++ {
+		for s := int64(0); s < lt.stripesPerZone(); s++ {
+			p := lt.parityDev(z, s)
+			used := map[int]bool{p: true}
+			for u := 0; u < lt.d; u++ {
+				dev := lt.dataDev(z, s, u)
+				if used[dev] {
+					t.Fatalf("z=%d s=%d: device %d used twice", z, s, dev)
+				}
+				used[dev] = true
+			}
+		}
+	}
+}
+
+func TestUnitOfDevInverse(t *testing.T) {
+	lt := testLayout()
+	for z := 0; z < lt.numZones; z++ {
+		for s := int64(0); s < lt.stripesPerZone(); s++ {
+			for u := 0; u < lt.d; u++ {
+				dev := lt.dataDev(z, s, u)
+				if got := lt.unitOfDev(z, s, dev); got != u {
+					t.Fatalf("unitOfDev(%d,%d,%d) = %d, want %d", z, s, dev, got, u)
+				}
+			}
+			if got := lt.unitOfDev(z, s, lt.parityDev(z, s)); got != -1 {
+				t.Fatalf("unitOfDev of parity device = %d, want -1", got)
+			}
+		}
+	}
+}
+
+func TestLocateProperties(t *testing.T) {
+	lt := testLayout()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lba := rng.Int63n(lt.numSectors())
+		a := lt.locate(lba)
+		z := lt.zoneOf(lba)
+		// PBA lands inside physical zone z.
+		if a.pba < int64(z)*lt.physZoneSize || a.pba >= int64(z)*lt.physZoneSize+lt.physZoneCap {
+			return false
+		}
+		// The device is the data device of the right stripe/unit.
+		off := lba - lt.zoneStart(z)
+		s := off / lt.stripeSectors()
+		u := int((off % lt.stripeSectors()) / lt.su)
+		return a.dev == lt.dataDev(z, s, u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocateBijectivePerDevice(t *testing.T) {
+	// Distinct LBAs must never map to the same (device, PBA).
+	lt := testLayout()
+	seen := make(map[addr]int64)
+	for lba := int64(0); lba < lt.numSectors(); lba++ {
+		a := lt.locate(lba)
+		if prev, ok := seen[a]; ok {
+			t.Fatalf("LBA %d and %d both map to %+v", prev, lba, a)
+		}
+		seen[a] = lba
+	}
+}
+
+func TestIntraRegions(t *testing.T) {
+	lt := testLayout() // su = 16
+	cases := []struct {
+		a, b int64
+		want []intraInterval
+	}{
+		{0, 4, []intraInterval{{0, 4}}},             // inside unit 0
+		{20, 28, []intraInterval{{4, 12}}},          // inside unit 1
+		{12, 20, []intraInterval{{12, 16}, {0, 4}}}, // wraps unit boundary
+		{0, 16, []intraInterval{{0, 16}}},           // exactly one unit
+		{8, 40, []intraInterval{{0, 16}}},           // >= su: whole range
+		{28, 32, []intraInterval{{12, 16}}},         // ends at boundary
+	}
+	for _, c := range cases {
+		got := lt.intraRegions(c.a, c.b)
+		if len(got) != len(c.want) {
+			t.Errorf("intraRegions(%d,%d) = %v, want %v", c.a, c.b, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("intraRegions(%d,%d) = %v, want %v", c.a, c.b, got, c.want)
+			}
+		}
+	}
+}
+
+func TestIntraRegionsCoverWriteLength(t *testing.T) {
+	lt := testLayout()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		start := rng.Int63n(lt.stripeSectors() - 1)
+		end := start + 1 + rng.Int63n(lt.stripeSectors()-start)
+		var total int64
+		for _, r := range lt.intraRegions(start, end) {
+			if r.a < 0 || r.b > lt.su || r.a >= r.b {
+				return false
+			}
+			total += r.b - r.a
+		}
+		want := end - start
+		if want > lt.su {
+			want = lt.su
+		}
+		return total == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnitFills(t *testing.T) {
+	lt := testLayout()
+	fills := lt.unitFills(20) // unit0 full(16) + unit1 partial(4)
+	want := []int64{16, 4, 0, 0}
+	for i := range want {
+		if fills[i] != want[i] {
+			t.Errorf("unitFills(20) = %v, want %v", fills, want)
+			break
+		}
+	}
+	fills = lt.unitFills(64)
+	for _, f := range fills {
+		if f != 16 {
+			t.Errorf("unitFills(full) = %v", fills)
+			break
+		}
+	}
+}
+
+func TestMDZoneIndex(t *testing.T) {
+	lt := testLayout()
+	if got := lt.mdZoneIndex(0); got != 5 {
+		t.Errorf("mdZoneIndex(0) = %d, want 5", got)
+	}
+	if got := lt.mdZoneIndex(2); got != 7 {
+		t.Errorf("mdZoneIndex(2) = %d, want 7", got)
+	}
+}

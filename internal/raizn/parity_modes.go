@@ -1,0 +1,158 @@
+package raizn
+
+import (
+	"encoding/binary"
+
+	"raizn/internal/parity"
+	"raizn/internal/vclock"
+	"raizn/internal/zns"
+)
+
+// This file implements the two §5.4 alternatives to partial-parity
+// logging, selected by Config.ParityMode:
+//
+//   - PPInlineMeta: the 32-byte record header rides in per-block logical
+//     metadata instead of occupying a 4 KiB header sector, shrinking
+//     every partial-parity log by one sector ("the actual header
+//     information could be written into the metadata descriptor instead,
+//     reducing write amplification and increasing the performance of
+//     small writes").
+//   - PPZRWA: partial parity is written (and re-written) in place at its
+//     final location through the device's Zone Random Write Area,
+//     eliminating parity logs and their metadata-zone churn ("ZRWA …
+//     could potentially be used to allow some parity updates to take
+//     place in-place and avoid the overhead of the parity logs").
+
+// encodeHeaderMeta serializes just the 32-byte record header, for the
+// per-block metadata descriptor.
+func (r *record) encodeHeaderMeta() []byte {
+	buf := make([]byte, headerBytes)
+	binary.LittleEndian.PutUint32(buf[0:4], mdMagic)
+	binary.LittleEndian.PutUint16(buf[4:6], uint16(r.typ))
+	binary.LittleEndian.PutUint16(buf[6:8], 0) // no inline payload in meta form
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(r.startLBA))
+	binary.LittleEndian.PutUint64(buf[16:24], uint64(r.endLBA))
+	binary.LittleEndian.PutUint64(buf[24:32], r.gen)
+	return buf
+}
+
+// encodePayloadOnly pads the external payload to whole sectors with no
+// header block.
+func (r *record) encodePayloadOnly(sectorSize int) []byte {
+	n := (len(r.payload) + sectorSize - 1) / sectorSize * sectorSize
+	buf := make([]byte, n)
+	copy(buf, r.payload)
+	return buf
+}
+
+// appendMeta writes a record with its header in block metadata and only
+// the payload in the data sectors. Same GC behaviour as append.
+func (m *mdManager) appendMeta(r *record, flags zns.Flag) (*vclock.Future, int64, error) {
+	dev := m.vol.devs[m.dev]
+	if dev == nil {
+		return nil, -1, zns.ErrDeviceFailed
+	}
+	buf := r.encodePayloadOnly(m.vol.sectorSize)
+	meta := r.encodeHeaderMeta()
+	need := int64(len(buf) / m.vol.sectorSize)
+	kind := kindOf(r.typ)
+
+	m.mu.Lock()
+	for attempt := 0; attempt < 3; attempt++ {
+		for m.gcBusy {
+			m.cond.Wait()
+		}
+		z := m.active[kind]
+		zd := dev.Zone(z)
+		remaining := dev.Config().ZoneCap - (zd.WP - dev.ZoneStart(z))
+		if remaining >= need && zd.State != zns.ZoneFull {
+			pba, fut := dev.AppendMeta(z, buf, meta, flags)
+			if pba >= 0 {
+				m.mu.Unlock()
+				return fut, pba, nil
+			}
+		}
+		if err := m.gcSlotLocked(kind); err != nil {
+			m.mu.Unlock()
+			return nil, -1, err
+		}
+	}
+	m.mu.Unlock()
+	return nil, -1, errMDFull
+}
+
+// issueZRWAParityLocked writes the stripe's current prefix parity in
+// place at the final parity location via the ZRWA, overwriting the
+// previous prefix. Caller holds lz.mu (device submission order).
+func (v *Volume) issueZRWAParityLocked(lz *logicalZone, s int64, buf *stripeBuffer, flags zns.Flag, futs *[]subIO) {
+	dev := v.lt.parityDev(lz.idx, s)
+	d := v.devForZone(dev, lz.idx)
+	if d == nil {
+		return // degraded: data units carry the write
+	}
+	plen := minI64(buf.fill, v.lt.su)
+	img := v.parityImageLocked(buf, []intraInterval{{0, plen}})
+	v.stats.zrwaParityWrites.Add(1)
+	fut := d.WriteZRWA(v.lt.parityPBA(lz.idx, s), img, flags)
+	*futs = append(*futs, subIO{dev: dev, fut: fut})
+}
+
+// parityOnMedia reports, for ZRWA mode, how many parity prefix sectors of
+// stripe s are on the parity device (its physical fill past the stripe's
+// parity offset).
+func (v *Volume) parityPrefixLen(z int, s int64) int64 {
+	dev := v.lt.parityDev(z, s)
+	d := v.devs[dev]
+	if d == nil {
+		return 0
+	}
+	physZone := z
+	zd := d.Zone(physZone)
+	fill := zd.WP - d.ZoneStart(physZone)
+	return clampI64(fill-s*v.lt.su, 0, v.lt.su)
+}
+
+// reconstructUnitRange repairs intra offsets [a, b) of the single short
+// data unit u of stripe s from the (possibly prefix-only) parity plus the
+// surviving units, writing the result at the owning device's write
+// pointer. Generalizes reconstructUnitTail for ZRWA prefix parity.
+func (v *Volume) reconstructUnitRange(z int, s int64, u int, a, b int64, fills []int64) error {
+	if b <= a {
+		return nil
+	}
+	ss := int64(v.sectorSize)
+	n := b - a
+	img := make([]byte, n*ss)
+	var futs []subIO
+	if err := v.readParityPiece(z, s, a, b, img, &futs); err != nil {
+		return err
+	}
+	var others [][]byte
+	for u2 := 0; u2 < v.lt.d; u2++ {
+		if u2 == u {
+			continue
+		}
+		hi := minI64(fills[u2], b)
+		if hi <= a {
+			continue
+		}
+		ob := make([]byte, (hi-a)*ss)
+		if err := v.readUnitPiece(z, s, u2, a, hi, ob, &futs); err != nil {
+			return err
+		}
+		others = append(others, ob)
+	}
+	if err := v.awaitReads(futs); err != nil {
+		return err
+	}
+	for _, o := range others {
+		parity.XORInto(img[:len(o)], o)
+	}
+	dev := v.lt.dataDev(z, s, u)
+	d := v.devs[dev]
+	if d == nil {
+		return ErrInconsistent
+	}
+	pba := int64(z)*v.lt.physZoneSize + s*v.lt.su + a
+	return d.Write(pba, img, 0).Wait()
+}

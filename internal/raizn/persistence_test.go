@@ -1,0 +1,369 @@
+package raizn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"raizn/internal/vclock"
+	"raizn/internal/zns"
+)
+
+// TestFUANeverLost is the §5.3 guarantee: once a FUA write completes,
+// the write AND every LBA before it in the zone survive any power loss.
+func TestFUANeverLost(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		runVol(t, func(c *vclock.Clock, v *Volume, devs []*zns.Device) {
+			rng := rand.New(rand.NewSource(seed))
+			lba := int64(0)
+			var fuaHigh int64 // end of the last completed FUA write
+			for lba < 150 {
+				n := int64(1 + rng.Intn(30))
+				if lba+n > 150 {
+					n = 150 - lba
+				}
+				flags := zns.Flag(0)
+				if rng.Intn(3) == 0 {
+					flags = zns.FUA
+				}
+				mustWriteV(t, v, lba, int(n), flags)
+				if flags == zns.FUA {
+					fuaHigh = lba + n
+				}
+				lba += n
+			}
+			for _, d := range devs {
+				d.PowerLoss(rng)
+			}
+			v2 := remount(t, c, devs)
+			if wp := v2.Zone(0).WP; wp < fuaHigh {
+				t.Fatalf("seed %d: FUA data lost: WP=%d < FUA end %d", seed, wp, fuaHigh)
+			}
+			if fuaHigh > 0 {
+				checkReadV(t, v2, 0, int(fuaHigh))
+			}
+		})
+	}
+}
+
+// TestPreflushOrdersPriorWrites verifies REQ_PREFLUSH semantics: a
+// preflush write's completion implies all previously COMPLETED writes are
+// durable.
+func TestPreflushOrdersPriorWrites(t *testing.T) {
+	runVol(t, func(c *vclock.Clock, v *Volume, devs []*zns.Device) {
+		zs := v.ZoneSectors()
+		mustWriteV(t, v, 0, 50, 0)  // zone 0, volatile
+		mustWriteV(t, v, zs, 30, 0) // zone 1, volatile
+		mustWriteV(t, v, 50, 10, zns.Preflush|zns.FUA)
+		for _, d := range devs {
+			d.PowerLoss(nil)
+		}
+		v2 := remount(t, c, devs)
+		if wp := v2.Zone(0).WP; wp < 60 {
+			t.Errorf("zone 0 WP=%d, want >= 60", wp)
+		}
+		if wp := v2.Zone(1).WP - zs; wp < 30 {
+			t.Errorf("zone 1 WP=%d, want >= 30 (preflush must persist it)", wp)
+		}
+		checkReadV(t, v2, 0, 60)
+		checkReadV(t, v2, zs, 30)
+	})
+}
+
+// TestPersistenceBitmapTracksFlushes exercises the Figure 6 bookkeeping.
+func TestPersistenceBitmapTracksFlushes(t *testing.T) {
+	runVol(t, func(c *vclock.Clock, v *Volume, devs []*zns.Device) {
+		mustWriteV(t, v, 0, 33, 0) // SUs 0,1 full + SU 2 partial
+		bm := v.PersistenceBitmap(0)
+		if bm[0] != 0 {
+			t.Errorf("bitmap before flush = %b, want 0", bm[0])
+		}
+		v.Flush()
+		bm = v.PersistenceBitmap(0)
+		// 33 sectors = 2 full SUs + 1 sector into SU 2; bits 0..2 set
+		// ("a write starting in the middle of a stripe unit implies the
+		// beginning was persisted", §5.3).
+		if bm[0]&0b111 != 0b111 {
+			t.Errorf("bitmap after flush = %b, want low 3 bits", bm[0])
+		}
+		if bm[0]&^uint64(0b111) != 0 {
+			t.Errorf("bitmap has spurious bits: %b", bm[0])
+		}
+	})
+}
+
+// TestFUAFlushesOnlyInvolvedDevices checks the §5.3 optimization: the
+// FUA dependency flushes the devices holding non-persisted stripe units,
+// not the whole array, when the range allows it.
+func TestFUAFlushesOnlyInvolvedDevices(t *testing.T) {
+	runVol(t, func(c *vclock.Clock, v *Volume, devs []*zns.Device) {
+		before := make([]int64, len(devs))
+		snap := func() {
+			for i, d := range devs {
+				_, _, f, _ := d.Counters()
+				before[i] = f
+			}
+		}
+		delta := func() []int64 {
+			out := make([]int64, len(devs))
+			for i, d := range devs {
+				_, _, f, _ := d.Counters()
+				out[i] = f - before[i]
+			}
+			return out
+		}
+		// A FUA write confined to the first stripe unit + its parity:
+		// only those two devices (plus the pp log device, which is the
+		// parity device) need flushing.
+		snap()
+		mustWriteV(t, v, 0, 4, zns.FUA)
+		d := delta()
+		flushed := 0
+		for _, n := range d {
+			if n > 0 {
+				flushed++
+			}
+		}
+		if flushed == 0 || flushed > 2 {
+			t.Errorf("FUA flushed %d devices (%v), want 1-2", flushed, d)
+		}
+	})
+}
+
+// TestCrashQuick is a quick.Check-driven crash property: any prefix the
+// volume exposes after a random crash equals what was written.
+func TestCrashQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		ok := true
+		c := vclock.New()
+		c.Run(func() {
+			devs := newTestDevices(c, 5)
+			v, err := Create(c, devs, DefaultConfig())
+			if err != nil {
+				ok = false
+				return
+			}
+			rng := rand.New(rand.NewSource(seed))
+			zs := v.ZoneSectors()
+			written := map[int]int64{}
+			// Interleave writes across up to 3 zones with random sizes,
+			// flushes, FUAs, and zone resets.
+			for op := 0; op < 60; op++ {
+				z := rng.Intn(3)
+				switch rng.Intn(10) {
+				case 0:
+					if v.ResetZone(z) == nil {
+						written[z] = 0
+					}
+				case 1:
+					v.Flush()
+				default:
+					n := int64(1 + rng.Intn(24))
+					if written[z]+n > zs {
+						continue
+					}
+					lba := int64(z)*zs + written[z]
+					flags := zns.Flag(0)
+					if rng.Intn(5) == 0 {
+						flags = zns.FUA
+					}
+					if v.Write(lba, lbaPattern(v, lba, int(n)), flags) == nil {
+						written[z] += n
+					}
+				}
+			}
+			for _, d := range devs {
+				d.PowerLoss(rng)
+			}
+			v2, err := Mount(c, devs, DefaultConfig())
+			if err != nil {
+				ok = false
+				return
+			}
+			for z := 0; z < 3; z++ {
+				zd := v2.Zone(z)
+				wp := zd.WP - int64(z)*zs
+				if wp > written[z] {
+					ok = false
+					return
+				}
+				if wp > 0 {
+					buf := make([]byte, wp*int64(v2.SectorSize()))
+					if v2.Read(int64(z)*zs, buf) != nil {
+						ok = false
+						return
+					}
+					if !bytes.Equal(buf, lbaPattern(v2, int64(z)*zs, int(wp))) {
+						ok = false
+						return
+					}
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCrashDuringMetadataGC forces a metadata GC and crashes right after,
+// verifying checkpointed records carry recovery.
+func TestCrashDuringMetadataGC(t *testing.T) {
+	runVol(t, func(c *vclock.Clock, v *Volume, devs []*zns.Device) {
+		// Partial-stripe churn generates pp logs; tiny test zones (64
+		// sectors) mean the pp zone fills after ~32 single-sector
+		// writes and GC rolls it over.
+		zs := v.ZoneSectors()
+		for z := int64(0); z < 3; z++ {
+			for i := int64(0); i < 50; i++ {
+				mustWriteV(t, v, z*zs+i, 1, 0)
+			}
+		}
+		v.Flush()
+		// One more partial write whose pp log lands in the post-GC
+		// zone, then a pessimistic crash.
+		mustWriteV(t, v, 3*zs, 1, zns.FUA)
+		for _, d := range devs {
+			d.PowerLoss(nil)
+		}
+		v2 := remount(t, c, devs)
+		for z := int64(0); z < 3; z++ {
+			if wp := v2.Zone(int(z)).WP - z*zs; wp != 50 {
+				t.Errorf("zone %d WP=%d, want 50", z, wp)
+			}
+			checkReadV(t, v2, z*zs, 50)
+		}
+		if wp := v2.Zone(3).WP - 3*zs; wp != 1 {
+			t.Errorf("FUA write lost: zone 3 WP=%d", wp)
+		}
+	})
+}
+
+// TestMaintainCompactsMetadata verifies the §4.3 maintenance operation.
+func TestMaintainCompactsMetadata(t *testing.T) {
+	runVol(t, func(c *vclock.Clock, v *Volume, devs []*zns.Device) {
+		for i := int64(0); i < 40; i++ {
+			mustWriteV(t, v, i, 1, 0)
+		}
+		if err := v.Maintain(); err != nil {
+			t.Fatalf("Maintain: %v", err)
+		}
+		// The volume still works and survives remount.
+		mustWriteV(t, v, 40, 24, 0) // completes stripe 0 and more
+		v.Flush()
+		v2 := remount(t, c, devs)
+		checkReadV(t, v2, 0, 64)
+	})
+}
+
+// TestGenerationCounterPersistedAcrossGC: reset bumps the counter; a
+// later metadata GC checkpoint must preserve it.
+func TestGenerationCounterPersistedAcrossGC(t *testing.T) {
+	runVol(t, func(c *vclock.Clock, v *Volume, devs []*zns.Device) {
+		mustWriteV(t, v, 0, 16, 0)
+		v.ResetZone(0)
+		v.ResetZone(0) // no-op: zone empty
+		mustWriteV(t, v, 0, 16, 0)
+		v.ResetZone(0)
+		gen := v.Generation(0)
+		if gen != 2 {
+			t.Fatalf("generation = %d, want 2", gen)
+		}
+		if err := v.Maintain(); err != nil {
+			t.Fatal(err)
+		}
+		v.Flush()
+		v2 := remount(t, c, devs)
+		// Mount bumps empty zones once more.
+		if g := v2.Generation(0); g != gen+1 {
+			t.Errorf("generation after GC+remount = %d, want %d", g, gen+1)
+		}
+	})
+}
+
+// TestOpenZoneAccounting drives open/close/reset/finish transitions and
+// checks the open-slot count never leaks.
+func TestOpenZoneAccounting(t *testing.T) {
+	c := vclock.New()
+	c.Run(func() {
+		devs := newTestDevices(c, 5)
+		cfg := DefaultConfig()
+		cfg.MaxOpenZones = 3
+		v, err := Create(c, devs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zs := v.ZoneSectors()
+		// Open 3 zones.
+		for z := int64(0); z < 3; z++ {
+			mustWriteV(t, v, z*zs, 4, 0)
+		}
+		// Fill zone 0 to full: frees a slot.
+		mustWriteV(t, v, 4, int(zs)-4, 0)
+		mustWriteV(t, v, 3*zs, 4, 0)
+		// Finish zone 1: frees a slot.
+		if err := v.FinishZone(1); err != nil {
+			t.Fatal(err)
+		}
+		mustWriteV(t, v, 4*zs, 4, 0)
+		// Reset zone 2: frees a slot.
+		if err := v.ResetZone(2); err != nil {
+			t.Fatal(err)
+		}
+		mustWriteV(t, v, 2*zs, 4, 0)
+		// All slots used again: 3, 4, 2 are open.
+		if err := v.Write(0, lbaPattern(v, 0, 1), 0); err != ErrZoneFull && err != ErrNotSequential {
+			t.Errorf("full zone write error = %v", err)
+		}
+	})
+}
+
+// TestExplicitOpenReservesSlot covers OpenZone/CloseZone.
+func TestExplicitOpenReservesSlot(t *testing.T) {
+	c := vclock.New()
+	c.Run(func() {
+		devs := newTestDevices(c, 5)
+		cfg := DefaultConfig()
+		cfg.MaxOpenZones = 2
+		v, err := Create(c, devs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := v.OpenZone(0); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.OpenZone(1); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.OpenZone(2); err != ErrTooManyOpen {
+			t.Errorf("3rd open error = %v", err)
+		}
+		if err := v.CloseZone(0); err != nil { // nothing written: back to empty
+			t.Fatal(err)
+		}
+		if st := v.Zone(0).State; st != zns.ZoneEmpty {
+			t.Errorf("state = %v, want empty", st)
+		}
+		if err := v.OpenZone(2); err != nil {
+			t.Errorf("open after close: %v", err)
+		}
+	})
+}
+
+// TestReadOnlyAfterWriteToReadOnlyVolume covers the read-only mode error
+// paths.
+func TestReadOnlyModeRejectsMutations(t *testing.T) {
+	runVol(t, func(c *vclock.Clock, v *Volume, devs []*zns.Device) {
+		mustWriteV(t, v, 0, 16, 0)
+		v.FailDevice(0)
+		v.FailDevice(1) // double failure -> read-only
+		if err := v.ResetZone(0); err != ErrReadOnly {
+			t.Errorf("reset error = %v", err)
+		}
+		if err := v.FinishZone(0); err != ErrReadOnly {
+			t.Errorf("finish error = %v", err)
+		}
+	})
+}

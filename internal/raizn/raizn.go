@@ -1,0 +1,519 @@
+// Package raizn implements RAIZN (Redundant Array of Independent Zoned
+// Namespaces, ASPLOS'23): a logical volume manager that exposes a single
+// host-managed zoned device on top of an array of ZNS SSDs, striping data
+// RAID-5 style with rotating parity.
+//
+// The package is the paper's core contribution. It implements:
+//
+//   - arithmetic LBA-to-PBA translation over logical zones built from one
+//     physical zone per device (§4.1);
+//   - stripe buffers and partial-parity logging so sub-stripe writes are
+//     crash-safe without violating the devices' no-overwrite rule (§5.1);
+//   - log-structured metadata in reserved zones with generation counters,
+//     header-tagged records, and swap-zone garbage collection (§4.3);
+//   - zone-reset write-ahead logging and stripe-hole recovery, including
+//     relocation of writes that collide with power-loss debris (§5.2);
+//   - persistence bitmaps and FUA/flush ordering (§5.3);
+//   - degraded reads/writes and prioritized, valid-data-only rebuild of
+//     replaced devices (§4.2).
+//
+// All IO is asynchronous (futures on a virtual clock); Write/Read/etc.
+// blocking helpers wrap the Submit* calls.
+package raizn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"raizn/internal/vclock"
+	"raizn/internal/zns"
+)
+
+// Errors returned by volume operations.
+var (
+	ErrNotSequential = errors.New("raizn: write not at logical zone write pointer")
+	ErrZoneBoundary  = errors.New("raizn: write crosses a logical zone boundary")
+	ErrZoneFull      = errors.New("raizn: logical zone is full")
+	ErrTooManyOpen   = errors.New("raizn: max open logical zones exceeded")
+	ErrOutOfRange    = errors.New("raizn: address out of range")
+	ErrUnaligned     = errors.New("raizn: IO not sector aligned")
+	ErrReadBeyondWP  = errors.New("raizn: read beyond logical write pointer")
+	ErrZoneResetting = errors.New("raizn: zone reset in progress")
+	ErrDegraded      = errors.New("raizn: array already degraded")
+	ErrReadOnly      = errors.New("raizn: volume is read-only")
+	ErrInconsistent  = errors.New("raizn: array metadata inconsistent")
+	ErrNotEnoughDevs = errors.New("raizn: not enough devices")
+)
+
+// Config holds the array parameters chosen at creation time.
+type Config struct {
+	// StripeUnitSectors is the stripe unit ("chunk") size in sectors.
+	// The paper settles on 64 KiB (16 sectors) as optimal (§6.1).
+	StripeUnitSectors int64
+	// MetadataZones is the number of physical zones reserved per device
+	// for metadata, minimum 3: one for partial parity, one for general
+	// metadata, and at least one swap zone for metadata GC (§4.3).
+	MetadataZones int
+	// StripeBuffers is the number of pre-allocated stripe buffers per
+	// open logical zone (8 in the paper's experiments, §5.1).
+	StripeBuffers int
+	// MaxOpenZones bounds simultaneously open logical zones. Zero means
+	// the device limit minus the reserved metadata zones.
+	MaxOpenZones int
+	// ArrayID identifies the array in superblocks; zero picks a value
+	// derived from the geometry.
+	ArrayID uint64
+	// ParityMode selects how sub-stripe parity is made crash-safe. The
+	// default (PPLog) is the paper's design; the alternatives implement
+	// the §5.4 optimizations for devices that support them.
+	ParityMode ParityMode
+	// DisableResetWAL skips the zone-reset write-ahead log (§5.2). ONLY
+	// for the ablation benchmarks: without the WAL, a crash between the
+	// physical resets of a logical zone is unrecoverable ambiguity.
+	DisableResetWAL bool
+	// RelocationThreshold is the §5.2 "user-modifiable threshold": a
+	// logical zone holding at least this many relocated fragments is
+	// compacted at mount, rewriting the affected physical zones so all
+	// data returns to its arithmetic location. Zero picks the default.
+	RelocationThreshold int
+}
+
+// ParityMode selects the partial-parity crash-safety mechanism.
+type ParityMode int
+
+const (
+	// PPLog writes partial parity as log records (4 KiB header + parity
+	// payload) into the dedicated metadata zone — the paper's design
+	// (§5.1), requiring no optional device features.
+	PPLog ParityMode = iota
+	// PPInlineMeta stores the record header in per-block logical
+	// metadata (NVMe PI area) instead of a header block, shrinking every
+	// log by one sector (§5.4 "logical block metadata"). Requires
+	// devices with MetaBytes >= 32.
+	PPInlineMeta
+	// PPZRWA updates the parity unit in place at its final location
+	// through a Zone Random Write Area, eliminating parity logs entirely
+	// (§5.4 "ZRWA"). Requires devices with ZRWASectors >= the stripe
+	// unit size.
+	PPZRWA
+)
+
+// DefaultConfig returns the paper's evaluation configuration: 64 KiB
+// stripe units, 3 metadata zones, 8 stripe buffers per open zone.
+func DefaultConfig() Config {
+	return Config{
+		StripeUnitSectors: 16,
+		MetadataZones:     3,
+		StripeBuffers:     8,
+	}
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.StripeUnitSectors == 0 {
+		out.StripeUnitSectors = 16
+	}
+	if out.MetadataZones == 0 {
+		out.MetadataZones = 3
+	}
+	if out.StripeBuffers == 0 {
+		out.StripeBuffers = 8
+	}
+	if out.RelocationThreshold == 0 {
+		out.RelocationThreshold = 64
+	}
+	return out
+}
+
+// stripeBuffer accumulates the data of one in-progress stripe so parity
+// can be computed without device reads (§5.1).
+type stripeBuffer struct {
+	stripe int64  // zone-relative stripe index, -1 when free
+	fill   int64  // data sectors present, always a dense prefix
+	data   []byte // d*su sectors
+}
+
+// logicalZone is the in-memory descriptor of one logical zone (paper
+// Table 1: logical zone descriptors + stripe buffers + persistence
+// bitmap).
+type logicalZone struct {
+	idx int
+
+	mu   sync.Mutex
+	cond *vclock.Cond // waits: stripe buffer free, reset completion
+
+	state       zns.ZoneState
+	wp          int64 // zone-relative sectors submitted (logical fill)
+	persistedWP int64 // zone-relative sectors known durable
+	resetting   bool
+
+	free   []*stripeBuffer         // buffer pool
+	active map[int64]*stripeBuffer // stripe index -> buffer in use
+
+	remapped bool // zone has relocated fragments (check reloc map on read)
+}
+
+// relocEntry records one relocated fragment: a logical range whose data
+// lives in a metadata zone instead of its arithmetic location (§5.2).
+type relocEntry struct {
+	startLBA, endLBA int64
+	dev              int    // device holding the relocated payload
+	pba              int64  // payload location (sector after the header)
+	data             []byte // in-memory cache (authoritative for reads)
+}
+
+// Volume is a RAIZN logical volume. All exported methods are safe for
+// concurrent use by simulated goroutines.
+type Volume struct {
+	clk        *vclock.Clock
+	cfg        Config
+	lt         *layout
+	sectorSize int
+	arrayID    uint64
+
+	devs []*zns.Device // nil = failed/removed slot
+	md   []*mdManager  // per-device metadata manager (nil when dev nil)
+
+	mu           sync.Mutex
+	gen          []uint64 // generation counter per logical zone
+	mdSeq        uint64   // sequence for zone-independent records
+	degraded     int      // failed device index, or -1
+	readOnly     bool
+	openCount    int
+	rebuilding   bool           // a device replacement is in progress
+	rebuiltZones []bool         // during rebuild: zones already re-synced
+	pendingWALs  map[int]uint64 // zone-reset intents not yet superseded
+
+	relocMu     sync.Mutex
+	reloc       map[int][]relocEntry         // logical zone -> data fragments (sorted by startLBA)
+	parityReloc map[int]map[int64]relocEntry // logical zone -> stripe -> relocated parity unit
+
+	zones []*logicalZone
+
+	maxOpen int
+
+	stats statsCounters
+}
+
+// Create initializes a new RAIZN array over the devices (which must be
+// identical and empty) and returns the mounted volume.
+func Create(clk *vclock.Clock, devs []*zns.Device, cfg Config) (*Volume, error) {
+	v, err := newVolume(clk, devs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range devs {
+		for _, zd := range d.ReportZones() {
+			if zd.State != zns.ZoneEmpty {
+				return nil, fmt.Errorf("raizn: create on non-empty device (zone %d %v)", zd.Index, zd.State)
+			}
+		}
+	}
+	// Persist a superblock on every device.
+	var futs []*vclock.Future
+	for i := range devs {
+		sb := superblock{
+			version:   1,
+			arrayID:   v.arrayID,
+			numDev:    uint32(len(devs)),
+			devIndex:  uint32(i),
+			su:        v.lt.su,
+			physZones: uint32(devs[i].Config().NumZones),
+			mdZones:   uint32(v.lt.mdZones),
+		}
+		fut, _, err := v.md[i].append(&record{
+			typ:    recSuperblock,
+			gen:    v.nextMDSeq(),
+			inline: sb.encode(),
+		}, zns.FUA)
+		if err != nil {
+			return nil, err
+		}
+		futs = append(futs, fut)
+	}
+	if err := vclock.WaitAll(futs...); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// newVolume builds the in-memory volume structure shared by Create and
+// Mount.
+func newVolume(clk *vclock.Clock, devs []*zns.Device, cfg Config) (*Volume, error) {
+	cfg = cfg.withDefaults()
+	if len(devs) < 3 {
+		return nil, ErrNotEnoughDevs
+	}
+	var ref *zns.Device
+	for _, d := range devs {
+		if d != nil {
+			ref = d
+			break
+		}
+	}
+	if ref == nil {
+		return nil, ErrNotEnoughDevs
+	}
+	dc := ref.Config()
+	for _, d := range devs {
+		if d == nil {
+			continue
+		}
+		c := d.Config()
+		if c.SectorSize != dc.SectorSize || c.NumZones != dc.NumZones ||
+			c.ZoneSize != dc.ZoneSize || c.ZoneCap != dc.ZoneCap {
+			return nil, errors.New("raizn: devices have mismatched geometry")
+		}
+	}
+	if cfg.MetadataZones < 3 {
+		return nil, errors.New("raizn: need at least 3 metadata zones")
+	}
+	if dc.ZoneCap%cfg.StripeUnitSectors != 0 {
+		return nil, errors.New("raizn: zone capacity not a multiple of the stripe unit")
+	}
+	numZones := dc.NumZones - cfg.MetadataZones
+	if numZones < 1 {
+		return nil, errors.New("raizn: no data zones left after metadata reservation")
+	}
+	lt := &layout{
+		n:            len(devs),
+		d:            len(devs) - 1,
+		su:           cfg.StripeUnitSectors,
+		physZoneSize: dc.ZoneSize,
+		physZoneCap:  dc.ZoneCap,
+		numZones:     numZones,
+		mdZones:      cfg.MetadataZones,
+	}
+	maxOpen := cfg.MaxOpenZones
+	if maxOpen == 0 {
+		maxOpen = dc.MaxOpenZones - cfg.MetadataZones
+		if maxOpen < 1 {
+			maxOpen = 1
+		}
+	}
+	// A metadata zone must be able to hold a full checkpoint (one
+	// partial-parity record of up to 1+SU sectors per open logical zone,
+	// plus superblock/counters) with room left for new records, or
+	// metadata GC cannot make progress.
+	if dc.ZoneCap < int64(maxOpen+2)*(cfg.StripeUnitSectors+1) {
+		return nil, errors.New("raizn: zone capacity too small for metadata checkpoints; increase zone capacity or reduce MaxOpenZones")
+	}
+	switch cfg.ParityMode {
+	case PPInlineMeta:
+		if dc.MetaBytes < headerBytes {
+			return nil, errors.New("raizn: PPInlineMeta requires devices with at least 32 bytes of per-block metadata")
+		}
+	case PPZRWA:
+		if dc.ZRWASectors < cfg.StripeUnitSectors {
+			return nil, errors.New("raizn: PPZRWA requires a random write area of at least one stripe unit")
+		}
+	}
+	arrayID := cfg.ArrayID
+	if arrayID == 0 {
+		arrayID = uint64(lt.n)<<32 ^ uint64(lt.su)<<16 ^ uint64(lt.numZones)
+	}
+	v := &Volume{
+		clk:         clk,
+		cfg:         cfg,
+		lt:          lt,
+		sectorSize:  dc.SectorSize,
+		arrayID:     arrayID,
+		devs:        append([]*zns.Device(nil), devs...),
+		md:          make([]*mdManager, len(devs)),
+		gen:         make([]uint64, numZones),
+		degraded:    -1,
+		reloc:       make(map[int][]relocEntry),
+		parityReloc: make(map[int]map[int64]relocEntry),
+		pendingWALs: make(map[int]uint64),
+		zones:       make([]*logicalZone, numZones),
+		maxOpen:     maxOpen,
+	}
+	for i := range devs {
+		if devs[i] != nil {
+			v.md[i] = newMDManager(v, i)
+		}
+	}
+	for z := range v.zones {
+		v.zones[z] = v.newLogicalZone(z)
+	}
+	return v, nil
+}
+
+func (v *Volume) newLogicalZone(z int) *logicalZone {
+	lz := &logicalZone{
+		idx:    z,
+		state:  zns.ZoneEmpty,
+		active: make(map[int64]*stripeBuffer),
+	}
+	lz.cond = v.clk.NewCond(&lz.mu)
+	for i := 0; i < v.cfg.StripeBuffers; i++ {
+		lz.free = append(lz.free, &stripeBuffer{
+			stripe: -1,
+			data:   make([]byte, v.lt.stripeSectors()*int64(v.sectorSize)),
+		})
+	}
+	return lz
+}
+
+func (v *Volume) nextMDSeq() uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.mdSeq++
+	return v.mdSeq
+}
+
+// --- Geometry accessors (the ZNS face RAIZN exposes to the host) ---
+
+// SectorSize returns the logical block size in bytes.
+func (v *Volume) SectorSize() int { return v.sectorSize }
+
+// NumZones returns the number of logical zones.
+func (v *Volume) NumZones() int { return v.lt.numZones }
+
+// ZoneSectors returns the capacity (and address-space stride) of a
+// logical zone in sectors: D physical zone capacities.
+func (v *Volume) ZoneSectors() int64 { return v.lt.zoneSectors() }
+
+// NumSectors returns the volume's logical capacity in sectors.
+func (v *Volume) NumSectors() int64 { return v.lt.numSectors() }
+
+// StripeSectors returns the data sectors per stripe (D stripe units).
+func (v *Volume) StripeSectors() int64 { return v.lt.stripeSectors() }
+
+// MaxOpenZones returns the maximum number of simultaneously open logical
+// zones.
+func (v *Volume) MaxOpenZones() int { return v.maxOpen }
+
+// ZoneDesc describes a logical zone to the host.
+type ZoneDesc struct {
+	Index       int
+	State       zns.ZoneState
+	WP          int64 // absolute LBA of the logical write pointer
+	PersistedWP int64 // absolute LBA below which data is known durable
+	Remapped    bool  // zone holds relocated fragments
+}
+
+// Zone returns the descriptor of logical zone z.
+func (v *Volume) Zone(z int) ZoneDesc {
+	lz := v.zones[z]
+	lz.mu.Lock()
+	defer lz.mu.Unlock()
+	return ZoneDesc{
+		Index:       z,
+		State:       lz.state,
+		WP:          v.lt.zoneStart(z) + lz.wp,
+		PersistedWP: v.lt.zoneStart(z) + lz.persistedWP,
+		Remapped:    lz.remapped,
+	}
+}
+
+// ReportZones returns descriptors for every logical zone.
+func (v *Volume) ReportZones() []ZoneDesc {
+	out := make([]ZoneDesc, v.lt.numZones)
+	for z := range out {
+		out[z] = v.Zone(z)
+	}
+	return out
+}
+
+// Generation returns the generation counter of logical zone z.
+func (v *Volume) Generation(z int) uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.gen[z]
+}
+
+// Degraded returns the failed device index, or -1 if the array is whole.
+func (v *Volume) Degraded() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.degraded
+}
+
+// ReadOnly reports whether the volume has entered read-only mode.
+func (v *Volume) ReadOnly() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.readOnly
+}
+
+// FailDevice marks device i failed, entering degraded mode. A second
+// failure is fatal for RAID-5; it returns ErrDegraded and puts the volume
+// in read-only mode.
+func (v *Volume) FailDevice(i int) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.failDeviceLocked(i)
+}
+
+func (v *Volume) failDeviceLocked(i int) error {
+	if v.degraded == i {
+		return nil
+	}
+	if v.degraded >= 0 {
+		v.readOnly = true
+		return ErrDegraded
+	}
+	v.degraded = i
+	if v.devs[i] != nil {
+		v.devs[i].Fail()
+	}
+	v.devs[i] = nil
+	v.md[i] = nil
+	return nil
+}
+
+// noteDeviceError inspects a sub-IO error and transitions to degraded
+// mode when a device has died underneath us.
+func (v *Volume) noteDeviceError(dev int, err error) {
+	if errors.Is(err, zns.ErrDeviceFailed) {
+		v.mu.Lock()
+		_ = v.failDeviceLocked(dev)
+		v.mu.Unlock()
+	}
+}
+
+// dev returns the device at slot i, or nil if failed.
+func (v *Volume) dev(i int) *zns.Device {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.devs[i]
+}
+
+// devForZone returns the device at slot i for IO against logical zone z.
+// During a rebuild, the replacement device is invisible for zones that
+// have not been re-synced yet: reads take the degraded path and writes
+// omit it (§4.2, "writes to non-rebuilt open zones are served in degraded
+// mode").
+func (v *Volume) devForZone(i, z int) *zns.Device {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.rebuilding && i == v.degraded && v.rebuiltZones != nil && !v.rebuiltZones[z] {
+		return nil
+	}
+	return v.devs[i]
+}
+
+// Unmount flushes all devices. The volume object must not be used
+// afterwards.
+func (v *Volume) Unmount() error {
+	return v.SubmitFlush().Wait()
+}
+
+// --- Blocking convenience wrappers ---
+
+// Write writes data at lba and blocks until it completes.
+func (v *Volume) Write(lba int64, data []byte, flags zns.Flag) error {
+	return v.SubmitWrite(lba, data, flags).Wait()
+}
+
+// Read fills buf from lba and blocks until it completes.
+func (v *Volume) Read(lba int64, buf []byte) error {
+	return v.SubmitRead(lba, buf).Wait()
+}
+
+// Flush persists all previously completed writes on every device.
+func (v *Volume) Flush() error {
+	return v.SubmitFlush().Wait()
+}

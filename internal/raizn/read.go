@@ -1,0 +1,290 @@
+package raizn
+
+import (
+	"raizn/internal/parity"
+	"raizn/internal/vclock"
+	"raizn/internal/zns"
+)
+
+// SubmitRead fills buf starting at lba. Reads may span stripes and
+// logical zones. Reads of a failed device's stripe units are served by
+// reconstruction (degraded read, §4.2); ranges relocated by crash
+// recovery are served from the relocation map (§5.2).
+func (v *Volume) SubmitRead(lba int64, buf []byte) *vclock.Future {
+	if len(buf) == 0 || len(buf)%v.sectorSize != 0 {
+		return v.clk.Completed(ErrUnaligned)
+	}
+	nSectors := int64(len(buf) / v.sectorSize)
+	if lba < 0 || lba+nSectors > v.lt.numSectors() {
+		return v.clk.Completed(ErrOutOfRange)
+	}
+
+	v.stats.logicalReadBytes.Add(int64(len(buf)))
+	var futs []subIO
+	ss := int64(v.sectorSize)
+	pos := lba
+	out := buf
+	for len(out) > 0 {
+		z := v.lt.zoneOf(pos)
+		zoneEnd := v.lt.zoneStart(z) + v.lt.zoneSectors()
+		n := zoneEnd - pos
+		if avail := int64(len(out)) / ss; n > avail {
+			n = avail
+		}
+		if err := v.readZonePortion(z, pos, out[:n*ss], &futs); err != nil {
+			return v.clk.Completed(err)
+		}
+		pos += n
+		out = out[n*ss:]
+	}
+
+	result := v.clk.NewFuture()
+	v.clk.Go(func() {
+		result.Complete(v.awaitReads(futs))
+	})
+	return result
+}
+
+// awaitReads waits for read sub-IOs; a device death mid-read is returned
+// as an error (the caller should retry, which will take the degraded
+// path).
+func (v *Volume) awaitReads(futs []subIO) error {
+	var firstErr error
+	for _, s := range futs {
+		if err := s.fut.Wait(); err != nil {
+			v.noteDeviceError(s.dev, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// readZonePortion plans the sub-reads for [pos, pos+len) inside zone z.
+func (v *Volume) readZonePortion(z int, pos int64, out []byte, futs *[]subIO) error {
+	lz := v.zones[z]
+	lz.mu.Lock()
+	wp := lz.wp
+	state := lz.state
+	lz.mu.Unlock()
+
+	ss := int64(v.sectorSize)
+	off := pos - v.lt.zoneStart(z)
+	n := int64(len(out)) / ss
+	if off+n > wp && state != zns.ZoneFull {
+		return ErrReadBeyondWP
+	}
+
+	// Zero-fill anything beyond the write pointer (finished zones).
+	if off+n > wp {
+		zeroFrom := wp - off
+		if zeroFrom < 0 {
+			zeroFrom = 0
+		}
+		tail := out[zeroFrom*ss:]
+		for i := range tail {
+			tail[i] = 0
+		}
+		if zeroFrom == 0 {
+			return nil
+		}
+		n = zeroFrom
+		out = out[:n*ss]
+	}
+
+	// Split into per-stripe-unit pieces.
+	stripeSec := v.lt.stripeSectors()
+	for n > 0 {
+		s := off / stripeSec
+		inStripe := off % stripeSec
+		u := int(inStripe / v.lt.su)
+		intra := inStripe % v.lt.su
+		pieceLen := v.lt.su - intra
+		if pieceLen > n {
+			pieceLen = n
+		}
+		if err := v.readPiece(z, s, u, intra, intra+pieceLen, out[:pieceLen*ss], wp, futs); err != nil {
+			return err
+		}
+		out = out[pieceLen*ss:]
+		off += pieceLen
+		n -= pieceLen
+	}
+	return nil
+}
+
+// readPiece reads intra offsets [a, b) of data unit u in stripe s of zone
+// z into dst, choosing between the normal, relocated, and degraded paths.
+func (v *Volume) readPiece(z int, s int64, u int, a, b int64, dst []byte, zoneWP int64, futs *[]subIO) error {
+	dev := v.lt.dataDev(z, s, u)
+	if v.devForZone(dev, z) == nil {
+		fut := v.degradedReadPiece(z, s, u, a, b, dst, zoneWP)
+		*futs = append(*futs, subIO{dev: dev, fut: fut})
+		return nil
+	}
+	return v.readUnitPiece(z, s, u, a, b, dst, futs)
+}
+
+// readUnitPiece reads from the unit's owning (live) device, overlaying
+// any relocated fragments that shadow parts of the range.
+func (v *Volume) readUnitPiece(z int, s int64, u int, a, b int64, dst []byte, futs *[]subIO) error {
+	ss := int64(v.sectorSize)
+	lbaA := v.lt.stripeStart(z, s) + int64(u)*v.lt.su + a
+	lbaB := lbaA + (b - a)
+
+	type gap struct{ lo, hi int64 } // LBA ranges not covered by reloc
+	gaps := []gap{{lbaA, lbaB}}
+	{
+		v.relocMu.Lock()
+		frags := v.reloc[z]
+		for _, f := range frags {
+			if f.endLBA <= lbaA || f.startLBA >= lbaB {
+				continue
+			}
+			// Copy the overlapping part from the in-memory cache.
+			lo, hi := maxI64(f.startLBA, lbaA), minI64(f.endLBA, lbaB)
+			copy(dst[(lo-lbaA)*ss:(hi-lbaA)*ss], f.data[(lo-f.startLBA)*ss:(hi-f.startLBA)*ss])
+			// Remove [lo,hi) from the gaps.
+			var ng []gap
+			for _, g := range gaps {
+				if hi <= g.lo || lo >= g.hi {
+					ng = append(ng, g)
+					continue
+				}
+				if g.lo < lo {
+					ng = append(ng, gap{g.lo, lo})
+				}
+				if hi < g.hi {
+					ng = append(ng, gap{hi, g.hi})
+				}
+			}
+			gaps = ng
+		}
+		v.relocMu.Unlock()
+	}
+
+	dev := v.lt.dataDev(z, s, u)
+	d := v.devForZone(dev, z)
+	if d == nil {
+		return ErrInconsistent // caller checked liveness
+	}
+	for _, g := range gaps {
+		intraLo := a + (g.lo - lbaA)
+		pba := int64(z)*v.lt.physZoneSize + s*v.lt.su + intraLo
+		fut := d.Read(pba, dst[(g.lo-lbaA)*ss:(g.hi-lbaA)*ss])
+		*futs = append(*futs, subIO{dev: dev, fut: fut})
+	}
+	return nil
+}
+
+// degradedReadPiece reconstructs intra offsets [a, b) of the missing data
+// unit u from the stripe buffer (partial stripes) or from parity plus the
+// surviving units (complete stripes).
+func (v *Volume) degradedReadPiece(z int, s int64, u int, a, b int64, dst []byte, zoneWP int64) *vclock.Future {
+	v.stats.degradedReads.Add(1)
+	ss := int64(v.sectorSize)
+	lz := v.zones[z]
+
+	// Partial tail stripes live in a stripe buffer; serve from memory.
+	lz.mu.Lock()
+	if buf, ok := lz.active[s]; ok {
+		base := int64(u) * v.lt.su * ss
+		copy(dst, buf.data[base+a*ss:base+b*ss])
+		lz.mu.Unlock()
+		return v.clk.Completed(nil)
+	}
+	lz.mu.Unlock()
+
+	// Complete stripe (or finished zone): reconstruct from media.
+	stripeSec := v.lt.stripeSectors()
+	g := zoneWP - s*stripeSec
+	if g < 0 {
+		g = 0
+	}
+	if g > stripeSec {
+		g = stripeSec
+	}
+	fills := v.lt.unitFills(g)
+	if fills[u] <= a {
+		// The missing unit was never written here: zeroes.
+		for i := range dst {
+			dst[i] = 0
+		}
+		return v.clk.Completed(nil)
+	}
+
+	var futs []subIO
+	nBytes := (b - a) * ss
+	pbuf := make([]byte, nBytes)
+	if err := v.readParityPiece(z, s, a, b, pbuf, &futs); err != nil {
+		return v.clk.Completed(err)
+	}
+	survivors := make([][]byte, 0, v.lt.d)
+	for u2 := 0; u2 < v.lt.d; u2++ {
+		if u2 == u || fills[u2] <= a {
+			continue
+		}
+		hi := fills[u2]
+		if hi > b {
+			hi = b
+		}
+		sb := make([]byte, (hi-a)*ss)
+		if err := v.readUnitPiece(z, s, u2, a, hi, sb, &futs); err != nil {
+			return v.clk.Completed(err)
+		}
+		survivors = append(survivors, sb)
+	}
+
+	result := v.clk.NewFuture()
+	v.clk.Go(func() {
+		if err := v.awaitReads(futs); err != nil {
+			result.Complete(err)
+			return
+		}
+		copy(dst, pbuf)
+		for _, sb := range survivors {
+			parity.XORInto(dst[:len(sb)], sb)
+		}
+		result.Complete(nil)
+	})
+	return result
+}
+
+// readParityPiece reads intra offsets [a, b) of the parity unit of stripe
+// s, honoring relocated parity.
+func (v *Volume) readParityPiece(z int, s int64, a, b int64, dst []byte, futs *[]subIO) error {
+	ss := int64(v.sectorSize)
+	v.relocMu.Lock()
+	if m := v.parityReloc[z]; m != nil {
+		if e, ok := m[s]; ok {
+			copy(dst, e.data[a*ss:minI64(b, (int64(len(e.data))/ss))*ss])
+			v.relocMu.Unlock()
+			return nil
+		}
+	}
+	v.relocMu.Unlock()
+
+	dev := v.lt.parityDev(z, s)
+	d := v.devForZone(dev, z)
+	if d == nil {
+		return ErrInconsistent // double failure
+	}
+	pba := v.lt.parityPBA(z, s) + a
+	*futs = append(*futs, subIO{dev: dev, fut: d.Read(pba, dst)})
+	return nil
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

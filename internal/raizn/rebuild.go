@@ -1,0 +1,306 @@
+package raizn
+
+import (
+	"errors"
+	"time"
+
+	"raizn/internal/parity"
+	"raizn/internal/zns"
+)
+
+// RebuildStats summarizes a device replacement.
+type RebuildStats struct {
+	Zones        int           // zones that needed reconstruction
+	BytesWritten int64         // bytes written to the replacement device
+	Elapsed      time.Duration // virtual time to repair (TTR)
+}
+
+// ReplaceDevice installs a blank device in the failed slot and rebuilds
+// it (§4.2). Unlike mdraid — which resyncs the entire address space —
+// RAIZN rebuilds only LBA ranges below each logical zone's write pointer,
+// so the time to repair scales with the amount of valid data (§6.2,
+// Figure 12). Active (open or closed) zones are rebuilt before full
+// zones, so subsequent writes leave degraded mode as early as possible.
+// Writes targeting not-yet-rebuilt zones are served in degraded mode for
+// the duration.
+func (v *Volume) ReplaceDevice(newDev *zns.Device) (RebuildStats, error) {
+	var stats RebuildStats
+	start := v.clk.Now()
+
+	v.mu.Lock()
+	slot := v.degraded
+	if slot < 0 {
+		v.mu.Unlock()
+		return stats, errors.New("raizn: array is not degraded")
+	}
+	if v.rebuilding {
+		v.mu.Unlock()
+		return stats, errors.New("raizn: rebuild already in progress")
+	}
+	dc := newDev.Config()
+	ref := (*zns.Device)(nil)
+	for _, d := range v.devs {
+		if d != nil {
+			ref = d
+			break
+		}
+	}
+	rc := ref.Config()
+	if dc.SectorSize != rc.SectorSize || dc.NumZones != rc.NumZones ||
+		dc.ZoneSize != rc.ZoneSize || dc.ZoneCap != rc.ZoneCap {
+		v.mu.Unlock()
+		return stats, errors.New("raizn: replacement device geometry mismatch")
+	}
+	v.rebuilding = true
+	v.rebuiltZones = make([]bool, v.lt.numZones)
+	v.devs[slot] = newDev
+	v.mu.Unlock()
+
+	// Re-create the replacement's metadata: superblock + current
+	// checkpoints (the failed device's non-replicated metadata is gone
+	// and, per §4.3, inconsequential).
+	m := newMDManager(v, slot)
+	if err := v.writeCheckpoint(newDev, m.active[mdGeneral], slot, mdGeneral); err != nil {
+		return stats, v.abortRebuild(slot, err)
+	}
+	if err := v.writeCheckpoint(newDev, m.active[mdParity], slot, mdParity); err != nil {
+		return stats, v.abortRebuild(slot, err)
+	}
+	v.mu.Lock()
+	v.md[slot] = m
+	v.mu.Unlock()
+
+	// Rebuild zone by zone, active zones first (§4.2).
+	order := make([]int, 0, v.lt.numZones)
+	var fullZones []int
+	for z := 0; z < v.lt.numZones; z++ {
+		switch v.zones[z].state {
+		case zns.ZoneOpen, zns.ZoneClosed:
+			order = append(order, z)
+		case zns.ZoneFull:
+			fullZones = append(fullZones, z)
+		}
+	}
+	order = append(order, fullZones...)
+
+	for _, z := range order {
+		n, err := v.rebuildZone(z, slot, newDev)
+		if err != nil {
+			return stats, v.abortRebuild(slot, err)
+		}
+		stats.Zones++
+		stats.BytesWritten += n
+	}
+	// Empty zones need no data; mark everything rebuilt.
+	v.mu.Lock()
+	for z := range v.rebuiltZones {
+		v.rebuiltZones[z] = true
+	}
+	v.degraded = -1
+	v.rebuilding = false
+	v.rebuiltZones = nil
+	v.mu.Unlock()
+
+	if err := newDev.Flush().Wait(); err != nil {
+		return stats, err
+	}
+	stats.Elapsed = v.clk.Now() - start
+	return stats, nil
+}
+
+func (v *Volume) abortRebuild(slot int, err error) error {
+	v.mu.Lock()
+	v.rebuilding = false
+	v.rebuiltZones = nil
+	v.devs[slot] = nil
+	v.md[slot] = nil
+	v.mu.Unlock()
+	return err
+}
+
+// rebuildZone reconstructs the replacement device's physical zone z from
+// the survivors. Writes to this zone are gated for the duration (they
+// park on the zone's condition variable, like during a reset); writes to
+// other zones proceed, degraded until their own zone is rebuilt.
+func (v *Volume) rebuildZone(z, slot int, newDev *zns.Device) (int64, error) {
+	lz := v.zones[z]
+	lz.mu.Lock()
+	for lz.resetting {
+		lz.cond.Wait()
+	}
+	lz.resetting = true
+	wp := lz.wp
+	state := lz.state
+	lz.mu.Unlock()
+	defer func() {
+		lz.mu.Lock()
+		lz.resetting = false
+		lz.cond.Broadcast()
+		lz.mu.Unlock()
+	}()
+
+	ss := int64(v.sectorSize)
+	su := v.lt.su
+	stripeSec := v.lt.stripeSectors()
+	var written int64
+
+	nStripes := (wp + stripeSec - 1) / stripeSec
+	for s := int64(0); s < nStripes; s++ {
+		g := clampI64(wp-s*stripeSec, 0, stripeSec) // stripe data fill
+		fills := v.lt.unitFills(g)
+		u := v.lt.unitOfDev(z, s, slot)
+		var content []byte
+		if u >= 0 {
+			need := fills[u]
+			if need == 0 {
+				continue
+			}
+			buf := make([]byte, need*ss)
+			if err := v.reconstructUnitForRebuild(lz, s, u, need, g, buf); err != nil {
+				return written, err
+			}
+			content = buf
+		} else {
+			// Parity unit: present on media only for complete stripes
+			// (or the sealed tail of a finished zone).
+			var plen int64
+			if g == stripeSec {
+				plen = su
+			} else if state == zns.ZoneFull && g > 0 {
+				plen = minI64(g, su)
+			}
+			if plen == 0 {
+				continue
+			}
+			content = v.computeParityForRebuild(lz, z, s, g, plen)
+			if content == nil {
+				return written, ErrInconsistent
+			}
+		}
+		pba := int64(z)*v.lt.physZoneSize + s*su
+		if err := newDev.Write(pba, content, 0).Wait(); err != nil {
+			return written, err
+		}
+		written += int64(len(content))
+	}
+
+	if state == zns.ZoneFull {
+		if err := newDev.FinishZone(z).Wait(); err != nil {
+			return written, err
+		}
+	}
+
+	// Relocation entries whose payload lived on the dead device are now
+	// obsolete: the rebuilt data sits at its arithmetic location.
+	v.relocMu.Lock()
+	if list := v.reloc[z]; len(list) > 0 {
+		keep := list[:0]
+		for _, e := range list {
+			if e.dev != slot {
+				keep = append(keep, e)
+			}
+		}
+		v.reloc[z] = keep
+	}
+	if m := v.parityReloc[z]; m != nil {
+		for s, e := range m {
+			if e.dev == slot {
+				delete(m, s)
+			}
+		}
+	}
+	v.relocMu.Unlock()
+
+	v.mu.Lock()
+	if v.rebuiltZones != nil {
+		v.rebuiltZones[z] = true
+	}
+	v.mu.Unlock()
+	return written, nil
+}
+
+// reconstructUnitForRebuild produces the first `need` sectors of data
+// unit u of stripe s. The zone's resetting gate is held (no concurrent
+// writers); lz.mu is taken only around buffer-map access.
+func (v *Volume) reconstructUnitForRebuild(lz *logicalZone, s int64, u int, need, g int64, dst []byte) error {
+	z := lz.idx
+	ss := int64(v.sectorSize)
+	su := v.lt.su
+
+	// Partial tail stripes live in the stripe buffer.
+	lz.mu.Lock()
+	if buf, ok := lz.active[s]; ok {
+		base := int64(u) * su * ss
+		copy(dst, buf.data[base:base+need*ss])
+		lz.mu.Unlock()
+		return nil
+	}
+	lz.mu.Unlock()
+
+	// Otherwise reconstruct from parity + surviving units.
+	var futs []subIO
+	pbuf := make([]byte, need*ss)
+	if err := v.readParityPiece(z, s, 0, need, pbuf, &futs); err != nil {
+		return err
+	}
+	fills := v.lt.unitFills(g)
+	var survivors [][]byte
+	for u2 := 0; u2 < v.lt.d; u2++ {
+		if u2 == u || fills[u2] == 0 {
+			continue
+		}
+		hi := minI64(fills[u2], need)
+		if hi <= 0 {
+			continue
+		}
+		b := make([]byte, hi*ss)
+		if err := v.readUnitPiece(z, s, u2, 0, hi, b, &futs); err != nil {
+			return err
+		}
+		survivors = append(survivors, b)
+	}
+	if err := v.awaitReads(futs); err != nil {
+		return err
+	}
+	copy(dst, pbuf)
+	for _, b := range survivors {
+		parity.XORInto(dst[:len(b)], b)
+	}
+	return nil
+}
+
+// computeParityForRebuild recomputes the parity unit prefix [0, plen) of
+// stripe s from the surviving data units (all alive: only the parity
+// device failed). Caller holds lz.mu.
+func (v *Volume) computeParityForRebuild(lz *logicalZone, z int, s, g, plen int64) []byte {
+	ss := int64(v.sectorSize)
+	lz.mu.Lock()
+	if buf, ok := lz.active[s]; ok {
+		img := v.parityImageLocked(buf, []intraInterval{{0, plen}})
+		lz.mu.Unlock()
+		return img
+	}
+	lz.mu.Unlock()
+	fills := v.lt.unitFills(g)
+	img := make([]byte, plen*ss)
+	var futs []subIO
+	var pieces [][]byte
+	for u := 0; u < v.lt.d; u++ {
+		hi := minI64(fills[u], plen)
+		if hi <= 0 {
+			continue
+		}
+		b := make([]byte, hi*ss)
+		if err := v.readUnitPiece(z, s, u, 0, hi, b, &futs); err != nil {
+			return nil
+		}
+		pieces = append(pieces, b)
+	}
+	if err := v.awaitReads(futs); err != nil {
+		return nil
+	}
+	for _, b := range pieces {
+		parity.XORInto(img[:len(b)], b)
+	}
+	return img
+}

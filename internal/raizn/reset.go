@@ -1,0 +1,298 @@
+package raizn
+
+import (
+	"raizn/internal/zns"
+)
+
+// ResetZone resets logical zone z: all constituent physical zones are
+// erased and the zone returns to empty. Because the physical resets are
+// not atomic as a group, RAIZN write-ahead logs the intent on two devices
+// — the holder of the zone's first stripe unit and the holder of the
+// first stripe's parity — before issuing any reset (§5.2). IO to the zone
+// is blocked for the duration.
+func (v *Volume) ResetZone(z int) error {
+	if z < 0 || z >= v.lt.numZones {
+		return ErrOutOfRange
+	}
+	if v.ReadOnly() {
+		return ErrReadOnly
+	}
+	lz := v.zones[z]
+	lz.mu.Lock()
+	for lz.resetting {
+		lz.cond.Wait()
+	}
+	if lz.state == zns.ZoneEmpty {
+		lz.mu.Unlock()
+		return nil
+	}
+	lz.resetting = true
+	lz.mu.Unlock()
+
+	err := v.doResetZone(lz)
+
+	lz.mu.Lock()
+	lz.resetting = false
+	lz.cond.Broadcast()
+	lz.mu.Unlock()
+	return err
+}
+
+func (v *Volume) doResetZone(lz *logicalZone) error {
+	z := lz.idx
+	gen := v.Generation(z)
+
+	// 1. Persist the reset intent on the two WAL devices. Device order
+	// rotates per zone (via the parity rotation), spreading WAL write
+	// amplification across the array.
+	v.mu.Lock()
+	v.pendingWALs[z] = gen
+	v.mu.Unlock()
+	walDevs := []int{v.lt.dataDev(z, 0, 0), v.lt.parityDev(z, 0)}
+	if v.cfg.DisableResetWAL {
+		walDevs = nil // ablation only: partial resets become ambiguous
+	}
+	var walFuts []subIO
+	for _, dev := range walDevs {
+		if v.md[dev] == nil {
+			continue // degraded: the surviving WAL copy suffices
+		}
+		rec := &record{
+			typ:      recResetWAL,
+			startLBA: v.lt.zoneStart(z),
+			endLBA:   v.lt.zoneStart(z) + v.lt.zoneSectors(),
+			gen:      gen,
+			inline:   encodeResetWAL(z),
+		}
+		fut, _, err := v.md[dev].append(rec, zns.FUA)
+		if err != nil {
+			return err
+		}
+		walFuts = append(walFuts, subIO{dev: dev, fut: fut})
+	}
+	if err := v.awaitSubIOs(walFuts); err != nil {
+		return err
+	}
+
+	// 2. Reset every physical zone. The WAL ensures a partial group of
+	// resets is finished on the next mount.
+	var futs []subIO
+	for i := range v.devs {
+		if d := v.dev(i); d != nil {
+			futs = append(futs, subIO{dev: i, fut: d.ResetZone(z)})
+		}
+	}
+	if err := v.awaitSubIOs(futs); err != nil {
+		return err
+	}
+
+	// 3. Advance the generation counter, invalidating every metadata
+	// record for the old generation (including the WAL entries), and
+	// persist it on all devices.
+	v.mu.Lock()
+	v.gen[z]++
+	delete(v.pendingWALs, z)
+	v.mu.Unlock()
+	if err := v.persistGenCounters(); err != nil {
+		return err
+	}
+
+	// 4. Reset the in-memory zone state.
+	v.dropRelocEntries(z)
+	lz.mu.Lock()
+	if lz.state == zns.ZoneOpen {
+		v.mu.Lock()
+		v.openCount--
+		v.mu.Unlock()
+	}
+	lz.state = zns.ZoneEmpty
+	lz.wp = 0
+	lz.persistedWP = 0
+	lz.remapped = false
+	for s, b := range lz.active {
+		b.stripe = -1
+		b.fill = 0
+		lz.free = append(lz.free, b)
+		delete(lz.active, s)
+	}
+	lz.cond.Broadcast()
+	lz.mu.Unlock()
+	v.stats.zoneResets.Add(1)
+	return nil
+}
+
+// persistGenCounters appends the generation-counter blocks to the general
+// metadata zone of every live device (Table 1: persisted on all devices).
+func (v *Volume) persistGenCounters() error {
+	v.mu.Lock()
+	gens := append([]uint64(nil), v.gen...)
+	v.mu.Unlock()
+	nBlocks := (len(gens) + gensPerBlock - 1) / gensPerBlock
+	var futs []subIO
+	for b := 0; b < nBlocks; b++ {
+		inline := encodeGenBlock(b, gens)
+		seq := v.nextMDSeq()
+		for i := range v.devs {
+			if v.md[i] == nil {
+				continue
+			}
+			fut, _, err := v.md[i].append(&record{
+				typ:    recGenCounters,
+				gen:    seq,
+				inline: inline,
+			}, 0)
+			if err != nil {
+				return err
+			}
+			futs = append(futs, subIO{dev: i, fut: fut})
+		}
+	}
+	return v.awaitSubIOs(futs)
+}
+
+// dropRelocEntries discards the relocation state of zone z (its records
+// become stale once the generation counter advances).
+func (v *Volume) dropRelocEntries(z int) {
+	v.relocMu.Lock()
+	delete(v.reloc, z)
+	delete(v.parityReloc, z)
+	v.relocMu.Unlock()
+}
+
+// FinishZone transitions logical zone z to full without writing the rest
+// of its capacity. If the tail stripe is partial, its parity-so-far is
+// written to the parity unit first so the stripe stays reconstructable,
+// then every physical zone is finished.
+func (v *Volume) FinishZone(z int) error {
+	if z < 0 || z >= v.lt.numZones {
+		return ErrOutOfRange
+	}
+	if v.ReadOnly() {
+		return ErrReadOnly
+	}
+	lz := v.zones[z]
+	lz.mu.Lock()
+	for lz.resetting {
+		lz.cond.Wait()
+	}
+	if lz.state == zns.ZoneFull {
+		lz.mu.Unlock()
+		return nil
+	}
+
+	var futs []subIO
+	var pending []pendingMD
+	// Seal the partial tail stripe's parity.
+	stripeSec := v.lt.stripeSectors()
+	if tail := lz.wp % stripeSec; tail != 0 {
+		s := lz.wp / stripeSec
+		if buf, ok := lz.active[s]; ok {
+			if v.cfg.ParityMode != PPZRWA {
+				// In ZRWA mode the parity prefix is already in place.
+				img := v.parityImageLocked(buf, []intraInterval{{0, minI64(buf.fill, v.lt.su)}})
+				v.issueDeviceWrite(v.lt.parityDev(z, s), v.lt.parityPBA(z, s), img, 0, 0, true, z, s, &futs, &pending)
+			}
+			delete(lz.active, s)
+			buf.stripe = -1
+			buf.fill = 0
+			lz.free = append(lz.free, buf)
+			lz.cond.Broadcast()
+		}
+	}
+	for i := range v.devs {
+		if d := v.dev(i); d != nil {
+			futs = append(futs, subIO{dev: i, fut: d.FinishZone(z)})
+		}
+	}
+	v.closeZoneSlot(lz, zns.ZoneFull)
+	persisted := lz.wp
+	lz.mu.Unlock()
+
+	futs = append(futs, v.issuePendingMD(pending)...)
+	if err := v.awaitSubIOs(futs); err != nil {
+		return err
+	}
+	// Device zone finish persists contents; reflect that logically.
+	lz.mu.Lock()
+	if persisted > lz.persistedWP {
+		lz.persistedWP = persisted
+	}
+	lz.mu.Unlock()
+	return nil
+}
+
+// OpenZone explicitly opens a logical zone, reserving an open slot.
+func (v *Volume) OpenZone(z int) error {
+	if z < 0 || z >= v.lt.numZones {
+		return ErrOutOfRange
+	}
+	lz := v.zones[z]
+	lz.mu.Lock()
+	defer lz.mu.Unlock()
+	if lz.state == zns.ZoneOpen {
+		return nil
+	}
+	if lz.state == zns.ZoneFull {
+		return ErrZoneFull
+	}
+	return v.openZoneSlot(lz)
+}
+
+// CloseZone transitions an open logical zone to closed (or back to empty
+// when nothing has been written), freeing its open slot.
+func (v *Volume) CloseZone(z int) error {
+	if z < 0 || z >= v.lt.numZones {
+		return ErrOutOfRange
+	}
+	lz := v.zones[z]
+	lz.mu.Lock()
+	defer lz.mu.Unlock()
+	if lz.state != zns.ZoneOpen {
+		return nil
+	}
+	to := zns.ZoneClosed
+	if lz.wp == 0 {
+		to = zns.ZoneEmpty
+	}
+	v.closeZoneSlot(lz, to)
+	return nil
+}
+
+// maintainFuture is documented in Maintain.
+const genCounterCeiling = ^uint64(0) - 1
+
+// Maintain performs the generation-counter maintenance operation (§4.3):
+// it garbage collects every metadata zone, checkpointing live records,
+// and (in the paper, after WAL-protected log rewriting) resets all
+// generation counters. This implementation performs the metadata GC and
+// re-persists counters; counters are only zeroed when one has reached the
+// ceiling, which 64-bit counters make effectively unreachable.
+func (v *Volume) Maintain() error {
+	for i := range v.devs {
+		m := v.md[i]
+		if m == nil {
+			continue
+		}
+		if err := m.forceGC(mdGeneral); err != nil {
+			return err
+		}
+		if err := m.forceGC(mdParity); err != nil {
+			return err
+		}
+	}
+	v.mu.Lock()
+	reset := false
+	for _, g := range v.gen {
+		if g >= genCounterCeiling {
+			reset = true
+		}
+	}
+	if reset {
+		for z := range v.gen {
+			v.gen[z] = 0
+		}
+		v.readOnly = false
+	}
+	v.mu.Unlock()
+	return v.persistGenCounters()
+}

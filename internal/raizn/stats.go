@@ -1,0 +1,65 @@
+package raizn
+
+import "sync/atomic"
+
+// Stats are lifetime volume counters, useful for write-amplification
+// analysis and for verifying which mechanisms a workload exercises.
+type Stats struct {
+	LogicalWriteBytes int64 // host data accepted by SubmitWrite/Append
+	LogicalReadBytes  int64 // host data returned by SubmitRead
+	PartialParityLogs int64 // §5.1 log records written (PPLog/PPInlineMeta)
+	ZRWAParityWrites  int64 // §5.4 in-place parity updates (PPZRWA)
+	FullParityWrites  int64 // full-stripe parity units written
+	Relocations       int64 // §5.2 relocated fragments created
+	ZoneResets        int64 // logical zone resets completed
+	MetadataGCs       int64 // metadata zone roll-overs
+	DegradedReads     int64 // stripe-unit pieces served by reconstruction
+}
+
+// statsCounters is embedded in Volume; all fields are updated atomically.
+type statsCounters struct {
+	logicalWriteBytes atomic.Int64
+	logicalReadBytes  atomic.Int64
+	partialParityLogs atomic.Int64
+	zrwaParityWrites  atomic.Int64
+	fullParityWrites  atomic.Int64
+	relocations       atomic.Int64
+	zoneResets        atomic.Int64
+	metadataGCs       atomic.Int64
+	degradedReads     atomic.Int64
+}
+
+// Stats returns a snapshot of the volume's lifetime counters.
+func (v *Volume) Stats() Stats {
+	return Stats{
+		LogicalWriteBytes: v.stats.logicalWriteBytes.Load(),
+		LogicalReadBytes:  v.stats.logicalReadBytes.Load(),
+		PartialParityLogs: v.stats.partialParityLogs.Load(),
+		ZRWAParityWrites:  v.stats.zrwaParityWrites.Load(),
+		FullParityWrites:  v.stats.fullParityWrites.Load(),
+		Relocations:       v.stats.relocations.Load(),
+		ZoneResets:        v.stats.zoneResets.Load(),
+		MetadataGCs:       v.stats.metadataGCs.Load(),
+		DegradedReads:     v.stats.degradedReads.Load(),
+	}
+}
+
+// DeviceWriteAmplification returns total device writes (data + parity +
+// metadata) divided by host writes, or 0 before any host write. The
+// RAID-5 floor is n/d.
+func (v *Volume) DeviceWriteAmplification() float64 {
+	host := v.stats.logicalWriteBytes.Load()
+	if host == 0 {
+		return 0
+	}
+	var dev int64
+	for i := range v.devs {
+		d := v.dev(i)
+		if d == nil {
+			continue
+		}
+		w, _, _, _ := d.Counters()
+		dev += w
+	}
+	return float64(dev) / float64(host)
+}

@@ -1,0 +1,52 @@
+package raizn
+
+import (
+	"testing"
+
+	"raizn/internal/vclock"
+	"raizn/internal/zns"
+)
+
+func TestStatsCounters(t *testing.T) {
+	runVol(t, func(c *vclock.Clock, v *Volume, devs []*zns.Device) {
+		mustWriteV(t, v, 0, 10, 0)  // sub-stripe: pp log
+		mustWriteV(t, v, 10, 54, 0) // completes the stripe: full parity
+		checkReadV(t, v, 0, 64)
+		if err := v.ResetZone(0); err != nil {
+			t.Fatal(err)
+		}
+		st := v.Stats()
+		if st.LogicalWriteBytes != 64*4096 {
+			t.Errorf("LogicalWriteBytes = %d", st.LogicalWriteBytes)
+		}
+		if st.LogicalReadBytes != 64*4096 {
+			t.Errorf("LogicalReadBytes = %d", st.LogicalReadBytes)
+		}
+		if st.PartialParityLogs == 0 {
+			t.Error("no partial parity logs counted")
+		}
+		if st.FullParityWrites != 1 {
+			t.Errorf("FullParityWrites = %d, want 1", st.FullParityWrites)
+		}
+		if st.ZoneResets != 1 {
+			t.Errorf("ZoneResets = %d, want 1", st.ZoneResets)
+		}
+		if st.DegradedReads != 0 {
+			t.Errorf("DegradedReads = %d, want 0", st.DegradedReads)
+		}
+	})
+}
+
+func TestStatsDegradedAndWA(t *testing.T) {
+	runVol(t, func(c *vclock.Clock, v *Volume, devs []*zns.Device) {
+		mustWriteV(t, v, 0, 128, 0)
+		if wa := v.DeviceWriteAmplification(); wa < 1.24 {
+			t.Errorf("WA = %f, want >= n/d", wa)
+		}
+		v.FailDevice(1)
+		checkReadV(t, v, 0, 128)
+		if st := v.Stats(); st.DegradedReads == 0 {
+			t.Error("degraded reads not counted")
+		}
+	})
+}

@@ -1,0 +1,597 @@
+package raizn
+
+import (
+	"errors"
+
+	"raizn/internal/parity"
+	"raizn/internal/vclock"
+	"raizn/internal/zns"
+)
+
+// SubmitWrite submits a sequential write of data at lba. Like a physical
+// ZNS zone, a logical zone only accepts writes at its write pointer, and
+// a write must not cross a logical zone boundary.
+//
+// The call validates, claims the zone range, and issues all sub-IOs
+// (data, parity, partial-parity logs) before returning; the future
+// completes when enough state is durable for the write's flags:
+//
+//   - no flags: data + (partial) parity submitted and transferred, i.e.
+//     the write is tolerant of a single device failure (§5.1: completion
+//     is not reported before partial parity is written);
+//   - FUA / Preflush: additionally, the write and all preceding data in
+//     the same logical zone are power-loss durable (§5.3).
+//
+// Lock discipline: device sub-IOs are issued under the zone lock (they
+// must hit each physical zone in write-pointer order); metadata appends
+// (partial parity, relocations) are prepared under the lock but issued
+// after it is released, because metadata GC takes zone locks while
+// checkpointing.
+func (v *Volume) SubmitWrite(lba int64, data []byte, flags zns.Flag) *vclock.Future {
+	if len(data) == 0 || len(data)%v.sectorSize != 0 {
+		return v.clk.Completed(ErrUnaligned)
+	}
+	nSectors := int64(len(data) / v.sectorSize)
+	if lba < 0 || lba+nSectors > v.lt.numSectors() {
+		return v.clk.Completed(ErrOutOfRange)
+	}
+	z := v.lt.zoneOf(lba)
+	off := lba - v.lt.zoneStart(z)
+	if off+nSectors > v.lt.zoneSectors() {
+		return v.clk.Completed(ErrZoneBoundary)
+	}
+	if v.ReadOnly() {
+		return v.clk.Completed(ErrReadOnly)
+	}
+
+	lz := v.zones[z]
+	lz.mu.Lock()
+	for lz.resetting {
+		lz.cond.Wait()
+	}
+	if lz.state == zns.ZoneFull {
+		lz.mu.Unlock()
+		return v.clk.Completed(ErrZoneFull)
+	}
+	if off != lz.wp {
+		lz.mu.Unlock()
+		return v.clk.Completed(ErrNotSequential)
+	}
+	if lz.state == zns.ZoneEmpty || lz.state == zns.ZoneClosed {
+		if err := v.openZoneSlot(lz); err != nil {
+			lz.mu.Unlock()
+			return v.clk.Completed(err)
+		}
+	}
+	lz.wp = off + nSectors
+	full := lz.wp == v.lt.zoneSectors()
+	v.stats.logicalWriteBytes.Add(int64(len(data)))
+
+	futs, pending, err := v.issueWriteLocked(lz, off, data, flags)
+	if full && err == nil {
+		v.closeZoneSlot(lz, zns.ZoneFull)
+	}
+	lz.mu.Unlock()
+	if err != nil {
+		return v.clk.Completed(err)
+	}
+	futs = append(futs, v.issuePendingMD(pending)...)
+
+	result := v.clk.NewFuture()
+	end := off + nSectors
+	v.clk.Go(func() {
+		if err := v.awaitSubIOs(futs); err != nil {
+			// A sub-IO failure that is not a tolerated device death
+			// leaves the logical write pointer ahead of what the host
+			// believes was written; fail stop rather than serve an
+			// inconsistent volume.
+			v.mu.Lock()
+			v.readOnly = true
+			v.mu.Unlock()
+			result.Complete(err)
+			return
+		}
+		if flags&(zns.FUA|zns.Preflush) != 0 {
+			if err := v.persistUpTo(lz, end); err != nil {
+				result.Complete(err)
+				return
+			}
+		}
+		result.Complete(nil)
+	})
+	return result
+}
+
+// subIO pairs a completion future with the device it went to, so device
+// deaths can be folded into degraded mode instead of failing the write.
+type subIO struct {
+	dev int
+	fut *vclock.Future
+}
+
+// pendingMD is a metadata append prepared under a zone lock and issued
+// after it is released.
+type pendingMD struct {
+	dev      int
+	rec      *record
+	flags    zns.Flag
+	isReloc  bool // register a relocation entry after the append
+	isParity bool // relocated parity rather than data
+	useMeta  bool // header in per-block metadata (PPInlineMeta)
+	z        int
+	s        int64
+}
+
+// issuePendingMD performs the deferred metadata appends.
+func (v *Volume) issuePendingMD(pending []pendingMD) []subIO {
+	var futs []subIO
+	for _, p := range pending {
+		m := v.mdm(p.dev)
+		if m == nil {
+			continue // device failed: degraded
+		}
+		var fut *vclock.Future
+		var pba int64
+		var err error
+		if p.useMeta {
+			fut, pba, err = m.appendMeta(p.rec, p.flags)
+		} else {
+			fut, pba, err = m.append(p.rec, p.flags)
+		}
+		if err != nil {
+			if errors.Is(err, zns.ErrDeviceFailed) {
+				v.noteDeviceError(p.dev, err)
+				continue
+			}
+			futs = append(futs, subIO{dev: p.dev, fut: v.clk.Completed(err)})
+			continue
+		}
+		if p.isReloc {
+			v.addReloc(p.z, relocEntry{
+				startLBA: p.rec.startLBA, endLBA: p.rec.endLBA,
+				dev: p.dev, pba: pba + 1, data: p.rec.payload,
+			}, p.isParity, p.s)
+		}
+		futs = append(futs, subIO{dev: p.dev, fut: fut})
+	}
+	return futs
+}
+
+// mdm returns the metadata manager of device i, or nil.
+func (v *Volume) mdm(i int) *mdManager {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.md[i]
+}
+
+// awaitSubIOs waits for all sub-IOs. A sub-IO that failed because its
+// device died is tolerated (the write continues in degraded mode, §4.2);
+// any other error, or a second device failure, is returned.
+func (v *Volume) awaitSubIOs(futs []subIO) error {
+	var firstErr error
+	for _, s := range futs {
+		err := s.fut.Wait()
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, zns.ErrDeviceFailed) {
+			v.noteDeviceError(s.dev, err)
+			if v.ReadOnly() {
+				return ErrReadOnly
+			}
+			continue
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// openZoneSlot charges one logical open-zone slot. Caller holds lz.mu.
+func (v *Volume) openZoneSlot(lz *logicalZone) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.openCount >= v.maxOpen {
+		return ErrTooManyOpen
+	}
+	v.openCount++
+	lz.state = zns.ZoneOpen
+	return nil
+}
+
+// closeZoneSlot releases the open slot when a zone leaves the open state.
+// Caller holds lz.mu.
+func (v *Volume) closeZoneSlot(lz *logicalZone, to zns.ZoneState) {
+	v.mu.Lock()
+	if lz.state == zns.ZoneOpen {
+		v.openCount--
+	}
+	lz.state = to
+	v.mu.Unlock()
+}
+
+// issueWriteLocked splits [off, off+len) of zone lz into per-stripe work:
+// buffer the data, issue data sub-IOs, and either full parity (stripe
+// complete) or a partial-parity log record. Caller holds lz.mu.
+func (v *Volume) issueWriteLocked(lz *logicalZone, off int64, data []byte, flags zns.Flag) ([]subIO, []pendingMD, error) {
+	var futs []subIO
+	var pending []pendingMD
+	ss := int64(v.sectorSize)
+	stripeSec := v.lt.stripeSectors()
+
+	for len(data) > 0 {
+		s := off / stripeSec
+		inStripe := off % stripeSec
+		n := stripeSec - inStripe
+		if avail := int64(len(data)) / ss; n > avail {
+			n = avail
+		}
+		chunk := data[:n*ss]
+
+		buf, err := v.stripeBufferLocked(lz, s)
+		if err != nil {
+			return futs, pending, err
+		}
+		if buf.fill != inStripe {
+			return futs, pending, ErrInconsistent // buffer out of sync with zone WP
+		}
+		copy(buf.data[inStripe*ss:], chunk)
+		buf.fill = inStripe + n
+
+		// Data sub-IOs, one per touched stripe unit.
+		v.issueDataLocked(lz.idx, s, inStripe, chunk, flags, &futs, &pending)
+
+		if buf.fill == stripeSec {
+			// Stripe complete: write the full parity unit and recycle
+			// the buffer.
+			if v.cfg.ParityMode == PPZRWA {
+				v.issueZRWAParityLocked(lz, s, buf, flags, &futs)
+			} else {
+				v.issueParityLocked(lz, s, buf, flags, &futs, &pending)
+			}
+			delete(lz.active, s)
+			buf.stripe = -1
+			buf.fill = 0
+			lz.free = append(lz.free, buf)
+			lz.cond.Broadcast()
+		} else if v.cfg.ParityMode == PPZRWA {
+			// Stripe still partial: update the parity prefix in place
+			// through the random write area (§5.4).
+			v.issueZRWAParityLocked(lz, s, buf, flags, &futs)
+		} else {
+			// Stripe still partial: log partial parity for the region
+			// this write affected (§5.1).
+			if p := v.partialParityLocked(lz, s, buf, inStripe, inStripe+n, flags); p != nil {
+				pending = append(pending, *p)
+			}
+		}
+
+		off += n
+		data = data[n*ss:]
+	}
+	return futs, pending, nil
+}
+
+// stripeBufferLocked returns the buffer accumulating stripe s, allocating
+// from the pool (and blocking while the pool is empty — paper §5.1 notes
+// this backpressure). Caller holds lz.mu.
+func (v *Volume) stripeBufferLocked(lz *logicalZone, s int64) (*stripeBuffer, error) {
+	if b, ok := lz.active[s]; ok {
+		return b, nil
+	}
+	for len(lz.free) == 0 {
+		lz.cond.Wait()
+	}
+	b := lz.free[len(lz.free)-1]
+	lz.free = lz.free[:len(lz.free)-1]
+	b.stripe = s
+	b.fill = 0
+	lz.active[s] = b
+	return b, nil
+}
+
+// issueDataLocked writes the data chunk covering zone-relative stripe
+// offsets [inStripe, inStripe+len) of stripe s to the owning devices.
+func (v *Volume) issueDataLocked(z int, s, inStripe int64, chunk []byte, flags zns.Flag, futs *[]subIO, pending *[]pendingMD) {
+	ss := int64(v.sectorSize)
+	for len(chunk) > 0 {
+		u := int(inStripe / v.lt.su)
+		intra := inStripe % v.lt.su
+		n := v.lt.su - intra
+		if avail := int64(len(chunk)) / ss; n > avail {
+			n = avail
+		}
+		dev := v.lt.dataDev(z, s, u)
+		pba := int64(z)*v.lt.physZoneSize + s*v.lt.su + intra
+		lbaStart := v.lt.zoneStart(z) + s*v.lt.stripeSectors() + inStripe
+		v.issueDeviceWrite(dev, pba, chunk[:n*ss], flags, lbaStart, false, z, s, futs, pending)
+		chunk = chunk[n*ss:]
+		inStripe += n
+	}
+}
+
+// issueDeviceWrite sends one device write, transparently relocating (all
+// or part of) it to the device's metadata zone when the target PBA range
+// was burned by a crash (below the physical write pointer and thus
+// immutable, §5.2). Failed devices are skipped (degraded write).
+func (v *Volume) issueDeviceWrite(dev int, pba int64, data []byte, flags zns.Flag, lba int64, isParity bool, z int, s int64, futs *[]subIO, pending *[]pendingMD) {
+	d := v.devForZone(dev, z)
+	if d == nil {
+		return
+	}
+	ss := int64(v.sectorSize)
+	n := int64(len(data)) / ss
+	physZone := int(pba / v.lt.physZoneSize)
+	wp := d.Zone(physZone).WP // absolute
+	if pba < wp {
+		// Burned prefix: relocate [pba, min(wp, pba+n)).
+		burn := minI64(wp-pba, n)
+		*pending = append(*pending, v.relocationRecord(dev, data[:burn*ss], lba, isParity, z, s))
+		data = data[burn*ss:]
+		pba += burn
+		lba += burn
+		if len(data) == 0 {
+			return
+		}
+	}
+	fut := d.Write(pba, data, flags)
+	*futs = append(*futs, subIO{dev: dev, fut: fut})
+}
+
+// relocationRecord builds the metadata append that relocates data (or a
+// parity unit) to the affected device's metadata zone (§5.2, "remapped
+// stripe unit").
+func (v *Volume) relocationRecord(dev int, data []byte, lba int64, isParity bool, z int, s int64) pendingMD {
+	n := int64(len(data)) / int64(v.sectorSize)
+	typ := recRelocData
+	start, end := lba, lba+n
+	if isParity {
+		typ = recRelocParity
+		start = v.lt.stripeStart(z, s)
+		end = start + n
+	}
+	return pendingMD{
+		dev: dev,
+		rec: &record{
+			typ:      typ,
+			startLBA: start,
+			endLBA:   end,
+			gen:      v.Generation(z),
+			payload:  append([]byte(nil), data...),
+		},
+		isReloc:  true,
+		isParity: isParity,
+		z:        z,
+		s:        s,
+	}
+}
+
+// issueParityLocked computes and writes the full parity unit of a
+// completed stripe from its buffer.
+func (v *Volume) issueParityLocked(lz *logicalZone, s int64, buf *stripeBuffer, flags zns.Flag, futs *[]subIO, pending *[]pendingMD) {
+	ss := int64(v.sectorSize)
+	suBytes := v.lt.su * ss
+	units := make([][]byte, v.lt.d)
+	for u := range units {
+		units[u] = buf.data[int64(u)*suBytes : int64(u+1)*suBytes]
+	}
+	p := parity.Encode(units...)
+	dev := v.lt.parityDev(lz.idx, s)
+	v.stats.fullParityWrites.Add(1)
+	v.issueDeviceWrite(dev, v.lt.parityPBA(lz.idx, s), p, flags, 0, true, lz.idx, s, futs, pending)
+}
+
+// partialParityLocked builds the partial-parity log record for a write
+// covering zone-relative stripe offsets [a, b) of the (still partial)
+// stripe s. The log goes to the partial-parity metadata zone of the
+// device that will eventually hold the stripe's parity (Table 1). Caller
+// holds lz.mu; the append itself happens later.
+func (v *Volume) partialParityLocked(lz *logicalZone, s int64, buf *stripeBuffer, a, b int64, flags zns.Flag) *pendingMD {
+	dev := v.lt.parityDev(lz.idx, s)
+	if v.mdm(dev) == nil {
+		return nil // parity device failed: data units carry the write
+	}
+	regions := v.lt.intraRegions(a, b)
+	payload := v.parityImageLocked(buf, regions)
+	v.stats.partialParityLogs.Add(1)
+	return &pendingMD{
+		dev: dev,
+		rec: &record{
+			typ:      recPartialParity,
+			startLBA: v.lt.stripeStart(lz.idx, s) + a,
+			endLBA:   v.lt.stripeStart(lz.idx, s) + b,
+			gen:      v.Generation(lz.idx),
+			payload:  payload,
+		},
+		useMeta: v.cfg.ParityMode == PPInlineMeta,
+		z:       lz.idx,
+		s:       s,
+	}
+}
+
+// parityImageLocked computes the stripe's current parity bytes over the
+// given intra-unit regions, treating unwritten unit tails as zeroes.
+func (v *Volume) parityImageLocked(buf *stripeBuffer, regions []intraInterval) []byte {
+	ss := int64(v.sectorSize)
+	fills := v.lt.unitFills(buf.fill)
+	var out []byte
+	for _, reg := range regions {
+		img := make([]byte, (reg.b-reg.a)*ss)
+		for u := 0; u < v.lt.d; u++ {
+			// Unit u contributes bytes for intra offsets < fills[u].
+			hi := fills[u]
+			if hi <= reg.a {
+				continue
+			}
+			if hi > reg.b {
+				hi = reg.b
+			}
+			unitBase := int64(u) * v.lt.su * ss
+			src := buf.data[unitBase+reg.a*ss : unitBase+hi*ss]
+			parity.XORInto(img[:len(src)], src)
+		}
+		out = append(out, img...)
+	}
+	return out
+}
+
+// addReloc registers a relocated fragment (data or parity) in the
+// in-memory maps and flags the zone as remapped. Lock order: lz.mu
+// before relocMu, matching every other path.
+func (v *Volume) addReloc(z int, e relocEntry, isParity bool, s int64) {
+	v.stats.relocations.Add(1)
+	lz := v.zones[z]
+	lz.mu.Lock()
+	lz.remapped = true
+	v.relocMu.Lock()
+	if isParity {
+		if v.parityReloc == nil {
+			v.parityReloc = make(map[int]map[int64]relocEntry)
+		}
+		m := v.parityReloc[z]
+		if m == nil {
+			m = make(map[int64]relocEntry)
+			v.parityReloc[z] = m
+		}
+		m[s] = e
+	} else {
+		v.reloc[z] = insertReloc(v.reloc[z], e)
+	}
+	v.relocMu.Unlock()
+	lz.mu.Unlock()
+}
+
+// RelocationCount returns the number of live relocated fragments (data
+// and parity) — the quantity the paper's user-modifiable rebuild
+// threshold watches (§5.2).
+func (v *Volume) RelocationCount() int {
+	v.relocMu.Lock()
+	defer v.relocMu.Unlock()
+	n := 0
+	for _, l := range v.reloc {
+		n += len(l)
+	}
+	for _, m := range v.parityReloc {
+		n += len(m)
+	}
+	return n
+}
+
+// insertReloc inserts e into the fragment list sorted by startLBA,
+// replacing any fragment it fully shadows.
+func insertReloc(list []relocEntry, e relocEntry) []relocEntry {
+	out := list[:0]
+	for _, f := range list {
+		if f.startLBA >= e.startLBA && f.endLBA <= e.endLBA {
+			continue // fully shadowed by the new fragment
+		}
+		out = append(out, f)
+	}
+	out = append(out, e)
+	// Insertion sort by startLBA (lists are tiny).
+	for i := len(out) - 1; i > 0 && out[i-1].startLBA > out[i].startLBA; i-- {
+		out[i-1], out[i] = out[i], out[i-1]
+	}
+	return out
+}
+
+// persistUpTo implements the FUA dependency of Figure 6: ensure every LBA
+// of the zone below end is durable, flushing exactly the devices that
+// hold non-persisted stripe units.
+func (v *Volume) persistUpTo(lz *logicalZone, end int64) error {
+	lz.mu.Lock()
+	from := lz.persistedWP
+	lz.mu.Unlock()
+	if from >= end {
+		return nil
+	}
+
+	// Determine which devices hold sub-IOs in [from, end): the data
+	// devices of the touched stripe units plus the parity devices of
+	// every stripe overlapped (full-stripe parity or partial-parity
+	// log).
+	need := make([]bool, v.lt.n)
+	stripeSec := v.lt.stripeSectors()
+	for s := from / stripeSec; s <= (end-1)/stripeSec; s++ {
+		need[v.lt.parityDev(lz.idx, s)] = true
+		lo := s * stripeSec
+		hi := lo + stripeSec
+		if lo < from {
+			lo = from
+		}
+		if hi > end {
+			hi = end
+		}
+		for u := int((lo % stripeSec) / v.lt.su); u <= int(((hi-1)%stripeSec)/v.lt.su); u++ {
+			need[v.lt.dataDev(lz.idx, s, u)] = true
+		}
+	}
+	var futs []subIO
+	for i, n := range need {
+		if !n {
+			continue
+		}
+		if d := v.dev(i); d != nil {
+			futs = append(futs, subIO{dev: i, fut: d.Flush()})
+		}
+	}
+	if err := v.awaitSubIOs(futs); err != nil {
+		return err
+	}
+	lz.mu.Lock()
+	if end > lz.persistedWP {
+		lz.persistedWP = end
+	}
+	lz.mu.Unlock()
+	return nil
+}
+
+// SubmitFlush flushes every device; once complete, all previously
+// completed writes are durable.
+func (v *Volume) SubmitFlush() *vclock.Future {
+	// Snapshot logical write pointers for the persistence bitmaps.
+	snaps := make([]int64, v.lt.numZones)
+	for z, lz := range v.zones {
+		lz.mu.Lock()
+		snaps[z] = lz.wp
+		lz.mu.Unlock()
+	}
+	var futs []subIO
+	for i := range v.devs {
+		if d := v.dev(i); d != nil {
+			futs = append(futs, subIO{dev: i, fut: d.Flush()})
+		}
+	}
+	result := v.clk.NewFuture()
+	v.clk.Go(func() {
+		if err := v.awaitSubIOs(futs); err != nil {
+			result.Complete(err)
+			return
+		}
+		for z, lz := range v.zones {
+			lz.mu.Lock()
+			if snaps[z] > lz.persistedWP {
+				lz.persistedWP = snaps[z]
+			}
+			lz.mu.Unlock()
+		}
+		result.Complete(nil)
+	})
+	return result
+}
+
+// PersistenceBitmap returns the persistence bitmap of zone z: one bit per
+// stripe unit, set when that unit's written data is known durable (§5.3).
+func (v *Volume) PersistenceBitmap(z int) []uint64 {
+	lz := v.zones[z]
+	lz.mu.Lock()
+	persisted := lz.persistedWP
+	lz.mu.Unlock()
+	nSU := v.lt.zoneSectors() / v.lt.su
+	bm := make([]uint64, (nSU+63)/64)
+	for su := int64(0); su < nSU && su*v.lt.su < persisted; su++ {
+		bm[su/64] |= 1 << (su % 64)
+	}
+	return bm
+}

@@ -1,0 +1,41 @@
+package zns
+
+import (
+	"testing"
+
+	"raizn/internal/vclock"
+)
+
+// BenchmarkDeviceWrite4K measures host-side simulator cost per device
+// write (virtual time excluded by construction).
+func BenchmarkDeviceWrite4K(b *testing.B) {
+	c := vclock.New()
+	c.Run(func() {
+		cfg := DefaultConfig()
+		cfg.DiscardData = true
+		d := NewDevice(c, cfg)
+		buf := make([]byte, 4096)
+		b.SetBytes(4096)
+		b.ResetTimer()
+		var sector int64
+		zone := 0
+		for i := 0; i < b.N; i++ {
+			if sector-d.ZoneStart(zone) >= cfg.ZoneCap {
+				zone++
+				if zone == cfg.NumZones {
+					b.StopTimer()
+					for z := 0; z < cfg.NumZones; z++ {
+						d.ResetZone(z)
+					}
+					zone = 0
+					b.StartTimer()
+				}
+				sector = d.ZoneStart(zone)
+			}
+			if err := d.Write(sector, buf, 0).Wait(); err != nil {
+				b.Fatal(err)
+			}
+			sector++
+		}
+	})
+}

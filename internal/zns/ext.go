@@ -1,0 +1,166 @@
+package zns
+
+import (
+	"errors"
+
+	"raizn/internal/vclock"
+)
+
+// This file implements two optional ZNS/NVMe features the paper's §5.4
+// discusses as future optimizations for RAIZN:
+//
+//   - Zone Random Write Area (ZRWA): a window of ZRWASectors behind the
+//     write pointer that may be overwritten in place, letting a host
+//     update recently written blocks (e.g. partial parity) without
+//     violating the sequential-write rule.
+//   - Per-block logical metadata (NVMe metadata / protection
+//     information): MetaBytes of out-of-band bytes per sector, written
+//     with the data and readable back, usable for self-describing log
+//     records without a separate header block.
+//
+// Both are disabled by default (ZRWASectors = 0, MetaBytes = 0), matching
+// the devices in the paper's testbed.
+
+// Extension errors.
+var (
+	ErrNoZRWA       = errors.New("zns: device has no ZRWA configured")
+	ErrOutsideZRWA  = errors.New("zns: overwrite outside the random write area")
+	ErrNoMeta       = errors.New("zns: device has no per-block metadata configured")
+	ErrMetaTooLarge = errors.New("zns: block metadata exceeds configured size")
+)
+
+// WriteZRWA submits a write that may overwrite data within the zone's
+// random write area: the window [wp-ZRWASectors, wp). Writes may also
+// extend past the write pointer (advancing it), so a caller can grow and
+// re-grow a record in place. Crash semantics simplification: like normal
+// writes, the payload is applied at submit; an unflushed in-place
+// overwrite that is lost to power failure reverts to nothing (the zone
+// prefix cut), not to the previous version of the block.
+func (d *Device) WriteZRWA(sector int64, data []byte, flags Flag) *vclock.Future {
+	if d.cfg.ZRWASectors <= 0 {
+		return d.fail(ErrNoZRWA)
+	}
+	if len(data) == 0 || len(data)%d.cfg.SectorSize != 0 {
+		return d.fail(ErrUnaligned)
+	}
+	nSectors := int64(len(data) / d.cfg.SectorSize)
+
+	d.mu.Lock()
+	if d.failed {
+		d.mu.Unlock()
+		return d.fail(ErrDeviceFailed)
+	}
+	z, off, err := d.checkSpan(sector, nSectors)
+	if err != nil {
+		d.mu.Unlock()
+		return d.fail(err)
+	}
+	zo := &d.zones[z]
+	switch zo.state {
+	case ZoneFull:
+		d.mu.Unlock()
+		return d.fail(ErrZoneFull)
+	case ZoneReadOnly, ZoneOffline:
+		d.mu.Unlock()
+		return d.fail(ErrZoneUnavailable)
+	}
+	// The write must start within (or at the end of) the window.
+	lo := zo.wp - d.cfg.ZRWASectors
+	if lo < 0 {
+		lo = 0
+	}
+	if off < lo || off > zo.wp {
+		d.mu.Unlock()
+		return d.fail(ErrOutsideZRWA)
+	}
+	if err := d.transitionToOpenLocked(z); err != nil {
+		d.mu.Unlock()
+		return d.fail(err)
+	}
+	if !d.cfg.DiscardData {
+		if zo.data == nil {
+			zo.data = make([]byte, d.cfg.ZoneCap*int64(d.cfg.SectorSize))
+		}
+		copy(zo.data[off*int64(d.cfg.SectorSize):], data)
+	}
+	end := off + nSectors
+	if end > zo.wp {
+		zo.unflushed = append(zo.unflushed, extent{start: zo.wp, end: end})
+		zo.wp = end
+	}
+	d.finalizeFullLocked(z)
+	d.hostWriteBytes += nSectors * int64(d.cfg.SectorSize)
+
+	now := d.clk.Now()
+	occ := d.cfg.WriteOpOverhead + d.xferTime(len(data), d.cfg.WriteBandwidth)
+	done := reservePipe(&d.writeBusy, now, occ) + d.cfg.WriteLatency
+	epoch := d.epoch
+	d.mu.Unlock()
+
+	fut := d.clk.NewFuture()
+	fua := flags&FUA != 0
+	d.schedule(fut, done, epoch, nil, func() {
+		if fua {
+			d.persistZoneLocked(z, end)
+		}
+	})
+	return fut
+}
+
+// AppendMeta is Append with a per-block metadata blob attached to the
+// first written sector (the record-header use case). meta must fit the
+// configured MetaBytes.
+func (d *Device) AppendMeta(z int, data, meta []byte, flags Flag) (int64, *vclock.Future) {
+	if d.cfg.MetaBytes <= 0 {
+		return -1, d.fail(ErrNoMeta)
+	}
+	if len(meta) > d.cfg.MetaBytes {
+		return -1, d.fail(ErrMetaTooLarge)
+	}
+	sector, fut := d.Append(z, data, flags)
+	if sector < 0 {
+		return sector, fut
+	}
+	d.mu.Lock()
+	if d.meta == nil {
+		d.meta = make(map[int64][]byte)
+	}
+	d.meta[sector] = append([]byte(nil), meta...)
+	d.mu.Unlock()
+	return sector, fut
+}
+
+// ReadBlockMeta returns the metadata blob attached to the sector, or nil
+// if none was written. The lookup is served from the device's metadata
+// region without a data transfer (a simplification of DIF/DIX read
+// paths; the callers that scan logs read the data anyway).
+func (d *Device) ReadBlockMeta(sector int64) ([]byte, error) {
+	if d.cfg.MetaBytes <= 0 {
+		return nil, ErrNoMeta
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed {
+		return nil, ErrDeviceFailed
+	}
+	m := d.meta[sector]
+	if m == nil {
+		return nil, nil
+	}
+	return append([]byte(nil), m...), nil
+}
+
+// dropMetaLocked discards block metadata for a reset zone's range.
+// Caller holds d.mu.
+func (d *Device) dropMetaLocked(z int) {
+	if d.meta == nil {
+		return
+	}
+	start := d.ZoneStart(z)
+	end := start + d.cfg.ZoneSize
+	for s := range d.meta {
+		if s >= start && s < end {
+			delete(d.meta, s)
+		}
+	}
+}

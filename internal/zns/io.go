@@ -1,0 +1,389 @@
+package zns
+
+import (
+	"time"
+
+	"raizn/internal/vclock"
+)
+
+// schedule arranges for fut to complete with err at absolute virtual time
+// at, applying effect (under the device lock) first — unless the device
+// lost power in the meantime, in which case the IO completes with
+// ErrPowerLoss and the effect is discarded.
+func (d *Device) schedule(fut *vclock.Future, at time.Duration, epoch uint64, err error, effect func()) {
+	now := d.clk.Now()
+	delay := at - now
+	d.clk.AfterFunc(delay, func() {
+		d.mu.Lock()
+		stale := d.epoch != epoch
+		if !stale && effect != nil {
+			effect()
+		}
+		d.mu.Unlock()
+		if stale {
+			fut.Complete(ErrPowerLoss)
+			return
+		}
+		fut.Complete(err)
+	})
+}
+
+// reservePipe allocates occupancy on a pipe (busy is the pipe's busy-until
+// field) and returns the transfer's finish time. Caller holds d.mu.
+func reservePipe(busy *time.Duration, now time.Duration, occupancy time.Duration) time.Duration {
+	start := now
+	if *busy > start {
+		start = *busy
+	}
+	*busy = start + occupancy
+	return *busy
+}
+
+func (d *Device) xferTime(n int, bw float64) time.Duration {
+	return time.Duration(float64(n) / bw * float64(time.Second))
+}
+
+// fail returns a pre-completed future carrying err.
+func (d *Device) fail(err error) *vclock.Future { return d.clk.Completed(err) }
+
+// checkSpan validates that [sector, sector+n) lies inside a single zone's
+// writable capacity and returns the zone index and zone-relative offset.
+func (d *Device) checkSpan(sector int64, nSectors int64) (z int, off int64, err error) {
+	if sector < 0 || nSectors <= 0 || sector+nSectors > d.NumSectors() {
+		return 0, 0, ErrOutOfRange
+	}
+	z = d.ZoneOf(sector)
+	off = sector - d.ZoneStart(z)
+	if off+nSectors > d.cfg.ZoneCap {
+		if off+nSectors > d.cfg.ZoneSize {
+			return 0, 0, ErrZoneBoundary
+		}
+		return 0, 0, ErrOutOfRange // inside the cap..size gap
+	}
+	return z, off, nil
+}
+
+// Write submits a sequential write of data at the absolute sector. The
+// write must start exactly at the zone's write pointer. State (write
+// pointer, payload) is applied at submit; the returned future completes
+// when the transfer is done. With Preflush, the device cache is flushed
+// first; with FUA, the write and all data before it in the same zone are
+// persistent once the future completes.
+func (d *Device) Write(sector int64, data []byte, flags Flag) *vclock.Future {
+	if len(data) == 0 || len(data)%d.cfg.SectorSize != 0 {
+		return d.fail(ErrUnaligned)
+	}
+	nSectors := int64(len(data) / d.cfg.SectorSize)
+
+	d.mu.Lock()
+	fut, err := d.writeLocked(sector, nSectors, data, flags)
+	d.mu.Unlock()
+	if err != nil {
+		return d.fail(err)
+	}
+	return fut
+}
+
+// Append submits a zone append to zone z: the device assigns the write
+// position (the current write pointer) and returns it immediately along
+// with the completion future. Real devices report the assigned LBA at
+// completion; the simulator can assign it at submit because command
+// processing is serialized, which is strictly less reordering than the
+// spec permits.
+func (d *Device) Append(z int, data []byte, flags Flag) (int64, *vclock.Future) {
+	if len(data) == 0 || len(data)%d.cfg.SectorSize != 0 {
+		return -1, d.fail(ErrUnaligned)
+	}
+	if z < 0 || z >= d.cfg.NumZones {
+		return -1, d.fail(ErrOutOfRange)
+	}
+	nSectors := int64(len(data) / d.cfg.SectorSize)
+
+	d.mu.Lock()
+	sector := d.ZoneStart(z) + d.zones[z].wp
+	fut, err := d.writeLocked(sector, nSectors, data, flags)
+	d.mu.Unlock()
+	if err != nil {
+		return -1, d.fail(err)
+	}
+	return sector, fut
+}
+
+// writeLocked performs validation and state transition for Write/Append.
+// Caller holds d.mu.
+func (d *Device) writeLocked(sector, nSectors int64, data []byte, flags Flag) (*vclock.Future, error) {
+	if d.failed {
+		return nil, ErrDeviceFailed
+	}
+	z, off, err := d.checkSpan(sector, nSectors)
+	if err != nil {
+		return nil, err
+	}
+	zo := &d.zones[z]
+	switch zo.state {
+	case ZoneFull:
+		return nil, ErrZoneFull
+	case ZoneReadOnly, ZoneOffline:
+		return nil, ErrZoneUnavailable
+	}
+	if off != zo.wp {
+		return nil, ErrNotSequential
+	}
+	if err := d.transitionToOpenLocked(z); err != nil {
+		return nil, err
+	}
+
+	// Apply payload and advance the write pointer at submit time; zones
+	// are append-only so later readers of [off, off+n) observe exactly
+	// this data until the zone is reset.
+	if !d.cfg.DiscardData {
+		if zo.data == nil {
+			zo.data = make([]byte, d.cfg.ZoneCap*int64(d.cfg.SectorSize))
+		}
+		copy(zo.data[off*int64(d.cfg.SectorSize):], data)
+	}
+	end := off + nSectors
+	zo.wp = end
+	zo.unflushed = append(zo.unflushed, extent{start: off, end: end})
+	d.finalizeFullLocked(z)
+	d.hostWriteBytes += nSectors * int64(d.cfg.SectorSize)
+
+	// A preflush acts on everything written before this command.
+	var flushSnap []int64
+	if flags&Preflush != 0 {
+		flushSnap = d.snapshotWPsLocked()
+		// Exclude this write itself from the snapshot persist; FUA
+		// handling below covers it if requested.
+		flushSnap[z] = off
+	}
+
+	now := d.clk.Now()
+	occ := d.cfg.WriteOpOverhead + d.xferTime(int(nSectors)*d.cfg.SectorSize, d.cfg.WriteBandwidth)
+	if flags&Preflush != 0 {
+		occ += d.cfg.FlushLatency
+	}
+	done := reservePipe(&d.writeBusy, now, occ) + d.cfg.WriteLatency
+
+	epoch := d.epoch
+	fut := d.clk.NewFuture()
+	fua := flags&FUA != 0
+	d.schedule(fut, done, epoch, nil, func() {
+		if flushSnap != nil {
+			d.persistSnapshotLocked(flushSnap)
+		}
+		if fua {
+			d.persistZoneLocked(z, end)
+		}
+	})
+	return fut, nil
+}
+
+// Read fills buf with data starting at the absolute sector. Reads below
+// the write pointer return the written payload; reads above it fail,
+// except in full (finished) zones where unwritten sectors read as zeroes
+// (deallocated blocks).
+func (d *Device) Read(sector int64, buf []byte) *vclock.Future {
+	if len(buf) == 0 || len(buf)%d.cfg.SectorSize != 0 {
+		return d.fail(ErrUnaligned)
+	}
+	nSectors := int64(len(buf) / d.cfg.SectorSize)
+
+	d.mu.Lock()
+	if d.failed {
+		d.mu.Unlock()
+		return d.fail(ErrDeviceFailed)
+	}
+	z, off, err := d.checkSpan(sector, nSectors)
+	if err != nil {
+		d.mu.Unlock()
+		return d.fail(err)
+	}
+	zo := &d.zones[z]
+	if zo.state == ZoneOffline {
+		d.mu.Unlock()
+		return d.fail(ErrZoneUnavailable)
+	}
+	if off+nSectors > zo.wp && zo.state != ZoneFull {
+		d.mu.Unlock()
+		return d.fail(ErrReadBeyondWP)
+	}
+
+	// Snapshot the payload at submit. Zones are immutable below the
+	// write pointer, so this equals completion-time data unless the zone
+	// is concurrently reset — in which case either snapshot is a legal
+	// outcome of the race.
+	ss := int64(d.cfg.SectorSize)
+	if d.cfg.DiscardData || zo.data == nil {
+		for i := range buf {
+			buf[i] = 0
+		}
+	} else {
+		written := zo.wp
+		for i := int64(0); i < nSectors; i++ {
+			dst := buf[i*ss : (i+1)*ss]
+			if off+i < written {
+				copy(dst, zo.data[(off+i)*ss:(off+i+1)*ss])
+			} else {
+				for j := range dst {
+					dst[j] = 0
+				}
+			}
+		}
+	}
+	d.hostReadBytes += nSectors * ss
+
+	now := d.clk.Now()
+	occ := d.cfg.ReadOpOverhead + d.xferTime(int(nSectors)*d.cfg.SectorSize, d.cfg.ReadBandwidth)
+	done := reservePipe(&d.readBusy, now, occ) + d.cfg.ReadLatency
+	epoch := d.epoch
+	d.mu.Unlock()
+
+	fut := d.clk.NewFuture()
+	d.schedule(fut, done, epoch, nil, nil)
+	return fut
+}
+
+// Flush persists the device's volatile write cache: every write submitted
+// before the flush is durable once the returned future completes.
+func (d *Device) Flush() *vclock.Future {
+	d.mu.Lock()
+	if d.failed {
+		d.mu.Unlock()
+		return d.fail(ErrDeviceFailed)
+	}
+	snap := d.snapshotWPsLocked()
+	now := d.clk.Now()
+	done := reservePipe(&d.writeBusy, now, d.cfg.FlushLatency)
+	epoch := d.epoch
+	d.flushCount++
+	d.mu.Unlock()
+
+	fut := d.clk.NewFuture()
+	d.schedule(fut, done, epoch, nil, func() { d.persistSnapshotLocked(snap) })
+	return fut
+}
+
+// snapshotWPsLocked captures every zone's write pointer. Caller holds d.mu.
+func (d *Device) snapshotWPsLocked() []int64 {
+	snap := make([]int64, len(d.zones))
+	for i := range d.zones {
+		snap[i] = d.zones[i].wp
+	}
+	return snap
+}
+
+// persistSnapshotLocked marks each zone persistent up to the snapshot
+// taken at flush submit. Caller holds d.mu.
+func (d *Device) persistSnapshotLocked(snap []int64) {
+	for i := range snap {
+		d.persistZoneLocked(i, snap[i])
+	}
+}
+
+// persistZoneLocked advances zone z's persisted prefix to upTo (a zone-
+// relative sector). Caller holds d.mu.
+func (d *Device) persistZoneLocked(z int, upTo int64) {
+	zo := &d.zones[z]
+	if upTo <= zo.pwp {
+		return
+	}
+	if upTo > zo.wp {
+		upTo = zo.wp
+	}
+	zo.pwp = upTo
+	keep := zo.unflushed[:0]
+	for _, e := range zo.unflushed {
+		if e.end <= upTo {
+			continue
+		}
+		if e.start < upTo {
+			e.start = upTo
+		}
+		keep = append(keep, e)
+	}
+	zo.unflushed = keep
+}
+
+// ResetZone erases zone z, returning it to the empty state. The reset is
+// durable at submit (power loss between the resets of different array
+// devices — the case RAIZN must handle — is still fully expressible by
+// resetting a subset of devices before PowerLoss).
+func (d *Device) ResetZone(z int) *vclock.Future {
+	d.mu.Lock()
+	if d.failed {
+		d.mu.Unlock()
+		return d.fail(ErrDeviceFailed)
+	}
+	if z < 0 || z >= d.cfg.NumZones {
+		d.mu.Unlock()
+		return d.fail(ErrOutOfRange)
+	}
+	zo := &d.zones[z]
+	if zo.state == ZoneReadOnly || zo.state == ZoneOffline {
+		d.mu.Unlock()
+		return d.fail(ErrZoneUnavailable)
+	}
+	switch zo.state {
+	case ZoneOpen:
+		d.nOpen--
+		d.nActive--
+	case ZoneClosed:
+		d.nActive--
+	}
+	zo.state = ZoneEmpty
+	zo.wp = 0
+	zo.pwp = 0
+	zo.finished = false
+	zo.unflushed = nil
+	zo.data = nil
+	d.dropMetaLocked(z)
+	d.resetCount++
+
+	now := d.clk.Now()
+	done := reservePipe(&d.writeBusy, now, d.cfg.ResetLatency)
+	epoch := d.epoch
+	d.mu.Unlock()
+
+	fut := d.clk.NewFuture()
+	d.schedule(fut, done, epoch, nil, nil)
+	return fut
+}
+
+// FinishZone transitions zone z to full without writing the remaining
+// capacity. Unwritten sectors subsequently read as zeroes. Finishing also
+// persists the zone's contents.
+func (d *Device) FinishZone(z int) *vclock.Future {
+	d.mu.Lock()
+	if d.failed {
+		d.mu.Unlock()
+		return d.fail(ErrDeviceFailed)
+	}
+	if z < 0 || z >= d.cfg.NumZones {
+		d.mu.Unlock()
+		return d.fail(ErrOutOfRange)
+	}
+	zo := &d.zones[z]
+	if zo.state == ZoneReadOnly || zo.state == ZoneOffline {
+		d.mu.Unlock()
+		return d.fail(ErrZoneUnavailable)
+	}
+	switch zo.state {
+	case ZoneOpen:
+		d.nOpen--
+		d.nActive--
+	case ZoneClosed:
+		d.nActive--
+	}
+	zo.state = ZoneFull
+	zo.finished = true
+	d.persistZoneLocked(z, zo.wp)
+
+	now := d.clk.Now()
+	done := reservePipe(&d.writeBusy, now, d.cfg.FinishLatency)
+	epoch := d.epoch
+	d.mu.Unlock()
+
+	fut := d.clk.NewFuture()
+	d.schedule(fut, done, epoch, nil, nil)
+	return fut
+}

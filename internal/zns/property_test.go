@@ -1,0 +1,99 @@
+package zns
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"raizn/internal/vclock"
+)
+
+// TestDeviceInvariantsQuick drives random operation sequences against one
+// device and checks the DESIGN.md invariants after every step:
+//
+//   - the write pointer never decreases except across a reset;
+//   - the persisted prefix never exceeds the write pointer;
+//   - flushed data is never un-persisted by power loss;
+//   - reads below the write pointer always succeed, reads above it
+//     always fail (outside full zones).
+func TestDeviceInvariantsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		ok := true
+		cfg := testConfig()
+		c := vclock.New()
+		c.Run(func() {
+			d := NewDevice(c, cfg)
+			rng := rand.New(rand.NewSource(seed))
+			type zstate struct{ wp, pwp int64 }
+			prev := make([]zstate, cfg.NumZones)
+
+			check := func() {
+				for z := 0; z < cfg.NumZones; z++ {
+					zd := d.Zone(z)
+					wp := zd.WP - d.ZoneStart(z)
+					pwp := zd.PersistedWP - d.ZoneStart(z)
+					if pwp > wp {
+						ok = false
+					}
+					if pwp < prev[z].pwp { // flushed data lost
+						ok = false
+					}
+					prev[z] = zstate{wp: wp, pwp: pwp}
+				}
+			}
+
+			for op := 0; op < 120 && ok; op++ {
+				z := rng.Intn(cfg.NumZones)
+				zd := d.Zone(z)
+				wp := zd.WP - d.ZoneStart(z)
+				switch rng.Intn(12) {
+				case 0:
+					d.ResetZone(z).Wait()
+					prev[z] = zstate{}
+				case 1:
+					d.Flush().Wait()
+				case 2:
+					d.FinishZone(z).Wait()
+				case 3:
+					// Power loss: only unflushed data may vanish.
+					d.PowerLoss(rng)
+					for i := range prev {
+						prev[i].wp = prev[i].pwp
+					}
+				case 4:
+					// Read below WP must succeed.
+					if wp > 0 {
+						n := 1 + rng.Int63n(wp)
+						buf := make([]byte, n*int64(cfg.SectorSize))
+						if err := d.Read(d.ZoneStart(z), buf).Wait(); err != nil {
+							ok = false
+						}
+					}
+				case 5:
+					// Read beyond WP must fail outside full zones.
+					if zd.State != ZoneFull && wp < cfg.ZoneCap {
+						buf := make([]byte, cfg.SectorSize)
+						if err := d.Read(zd.WP, buf).Wait(); err == nil {
+							ok = false
+						}
+					}
+				default:
+					n := 1 + rng.Int63n(8)
+					if wp+n > cfg.ZoneCap {
+						continue
+					}
+					flags := Flag(0)
+					if rng.Intn(4) == 0 {
+						flags = FUA
+					}
+					d.Write(zd.WP, make([]byte, n*int64(cfg.SectorSize)), flags).Wait()
+				}
+				check()
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
