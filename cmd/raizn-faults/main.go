@@ -11,8 +11,10 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
 	"raizn/internal/raizn"
+	"raizn/internal/scrub"
 	"raizn/internal/vclock"
 	"raizn/internal/zns"
 )
@@ -63,6 +65,10 @@ func main() {
 	scenarioCrashPlusFailure()
 	fmt.Println("scenario 4: writes racing a device rebuild")
 	scenarioRebuildUnderLoad()
+	fmt.Println("scenario 5: scrub repairs injected rot and latent read errors")
+	scenarioScrubRepair()
+	fmt.Println("scenario 6: health monitor auto-fails an erroring device and rebuilds")
+	scenarioHealthAutoRebuild()
 
 	if failures > 0 {
 		fmt.Printf("%d failure(s)\n", failures)
@@ -200,6 +206,152 @@ func scenarioCrashPlusFailure() {
 		okRead := vol2.Read(0, buf) == nil
 		okData := okRead && bytes.Equal(buf, pattern(0, int(wp), ss))
 		check(wp == 40 && okData, "degraded+crash recovery: WP=%d (want 40), data intact=%v", wp, okData)
+	})
+}
+
+// unitSector maps (zone, stripe, data unit, intra offset) to the owning
+// device and its absolute sector, mirroring the volume's arithmetic
+// layout (su=16, 5 devices, physical zone stride = cfg.ZoneSize).
+func unitSector(cfg zns.Config, z, u int, s, intra int64) (int, int64) {
+	const n = 5
+	pd := n - 1 - int((s+int64(z))%int64(n))
+	dev := (pd + 1 + u) % n
+	return dev, int64(z)*cfg.ZoneSize + s*16 + intra
+}
+
+func scenarioScrubRepair() {
+	clk := vclock.New()
+	clk.Run(func() {
+		devs := make([]*zns.Device, 5)
+		for i := range devs {
+			devs[i] = zns.NewDevice(clk, devConfig())
+		}
+		vol, _ := raizn.Create(clk, devs, raizn.DefaultConfig())
+		ss := vol.SectorSize()
+		zs := vol.ZoneSectors()
+		for z := int64(0); z < 3; z++ {
+			vol.Write(z*zs, pattern(z*zs, int(zs), ss), 0)
+		}
+		vol.Flush()
+
+		// Bit-rot in four distinct stripes plus two latent read errors.
+		type hit struct {
+			z, u     int
+			s, intra int64
+		}
+		rots := []hit{{0, 0, 0, 0}, {0, 2, 3, 7}, {1, 1, 9, 15}, {2, 3, 14, 4}}
+		lats := []hit{{1, 0, 2, 6}, {2, 2, 7, 11}}
+		for _, h := range rots {
+			dev, pba := unitSector(devConfig(), h.z, h.u, h.s, h.intra)
+			if err := devs[dev].CorruptSector(pba); err != nil {
+				check(false, "corrupt: %v", err)
+				return
+			}
+		}
+		for _, h := range lats {
+			dev, pba := unitSector(devConfig(), h.z, h.u, h.s, h.intra)
+			if err := devs[dev].InjectReadError(pba); err != nil {
+				check(false, "inject: %v", err)
+				return
+			}
+		}
+
+		sb := scrub.New(scrub.Config{Clock: clk, Target: scrub.RaiznTarget{V: vol}, Repair: true})
+		stats, err := sb.RunPass()
+		okPass := err == nil && stats.Mismatches == int64(len(rots)) &&
+			stats.ReadErrors == int64(len(lats)) &&
+			stats.RepairedData == int64(len(rots)+len(lats)) && stats.Unrepaired == 0
+		check(okPass, "scrub pass repaired %d/%d damaged stripes (%d read errors, %d unrepaired)",
+			stats.RepairedData, len(rots)+len(lats), stats.ReadErrors, stats.Unrepaired)
+
+		// Full readback: every acked sector still holds its pattern.
+		okData := true
+		buf := make([]byte, zs*int64(ss))
+		for z := int64(0); z < 3; z++ {
+			if vol.Read(z*zs, buf) != nil || !bytes.Equal(buf, pattern(z*zs, int(zs), ss)) {
+				okData = false
+				break
+			}
+		}
+		check(okData, "full readback intact after repair")
+
+		stats, err = sb.RunPass()
+		check(err == nil && stats.Mismatches == 0 && stats.ReadErrors == 0,
+			"second pass clean (%d mismatches, %d read errors)", stats.Mismatches, stats.ReadErrors)
+	})
+}
+
+func scenarioHealthAutoRebuild() {
+	clk := vclock.New()
+	clk.Run(func() {
+		devs := make([]*zns.Device, 5)
+		for i := range devs {
+			devs[i] = zns.NewDevice(clk, devConfig())
+		}
+		vol, _ := raizn.Create(clk, devs, raizn.DefaultConfig())
+		ss := vol.SectorSize()
+		zs := vol.ZoneSectors()
+		for z := int64(0); z < 2; z++ {
+			vol.Write(z*zs, pattern(z*zs, int(zs), ss), 0)
+		}
+		vol.Flush()
+
+		rebuilt := clk.NewFuture()
+		var mon *scrub.Monitor
+		mon = scrub.NewMonitor(scrub.MonitorConfig{
+			Clock: clk, Array: scrub.RaiznArray{V: vol},
+			SuspectThreshold: 2, FailThreshold: 5,
+			Interval: 10 * time.Millisecond,
+			OnFail: func(dev int) {
+				if _, err := vol.ReplaceDevice(zns.NewDevice(clk, devConfig())); err != nil {
+					rebuilt.Complete(err)
+					return
+				}
+				mon.MarkReplaced(dev)
+				rebuilt.Complete(nil)
+			},
+		})
+
+		// A persistent latent sector: every foreground read of that unit
+		// errors (and is transparently repaired), driving the counter up.
+		dev, pba := unitSector(devConfig(), 0, 1, 4, 3)
+		if err := devs[dev].InjectReadError(pba); err != nil {
+			check(false, "inject: %v", err)
+			return
+		}
+		lba := 4*vol.StripeSectors() + 16 // unit 1 of stripe 4
+		buf := make([]byte, 16*ss)
+		for i := 0; i < 2; i++ {
+			if err := vol.Read(lba, buf); err != nil {
+				check(false, "read: %v", err)
+				return
+			}
+		}
+		mon.Poll()
+		okSuspect := mon.State(dev) == scrub.Suspect && vol.Degraded() < 0
+		check(okSuspect, "device %d suspect after 2 read errors, array still whole", dev)
+
+		for i := 0; i < 3; i++ {
+			if err := vol.Read(lba, buf); err != nil {
+				check(false, "read: %v", err)
+				return
+			}
+		}
+		mon.Start()
+		err := rebuilt.Wait()
+		mon.Stop()
+		okRebuild := err == nil && vol.Degraded() < 0 && mon.State(dev) == scrub.Healthy
+		check(okRebuild, "device %d auto-failed at threshold and rebuilt onto replacement (err=%v)", dev, err)
+
+		okData := true
+		buf2 := make([]byte, zs*int64(ss))
+		for z := int64(0); z < 2; z++ {
+			if vol.Read(z*zs, buf2) != nil || !bytes.Equal(buf2, pattern(z*zs, int(zs), ss)) {
+				okData = false
+				break
+			}
+		}
+		check(okData, "data intact after health-driven rebuild")
 	})
 }
 

@@ -1,15 +1,18 @@
 // Command raizn-inspect builds a demo RAIZN array, applies an optional
 // scripted workload, and dumps volume, logical-zone, and per-device
 // physical-zone state — the debugging view of the address-space layout
-// of §4.1.
+// of §4.1 — plus the device-health and scrub-progress view of the
+// background scrub subsystem.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 
 	"raizn/internal/raizn"
+	"raizn/internal/scrub"
 	"raizn/internal/vclock"
 	"raizn/internal/zns"
 )
@@ -19,6 +22,9 @@ func main() {
 	partial := flag.Int("partial", 24, "extra sectors to write into the next zone")
 	su := flag.Int64("su", 16, "stripe unit size in sectors")
 	degraded := flag.Bool("degraded", false, "fail device 0 before dumping")
+	rot := flag.Int("rot", 0, "seeded single-sector corruptions to inject into filled zones")
+	rotSeed := flag.Int64("rot-seed", 1, "seed for corruption placement")
+	doScrub := flag.Bool("scrub", false, "run one repair scrub pass before dumping")
 	flag.Parse()
 
 	clk := vclock.New()
@@ -56,6 +62,52 @@ func main() {
 			}
 		}
 		vol.Flush()
+
+		if *rot > 0 && *fillZones > 0 {
+			rng := rand.New(rand.NewSource(*rotSeed))
+			n := len(devs)
+			seen := map[[2]int64]bool{}
+			// One corruption per distinct (zone, stripe) pair, so the
+			// request is capped at the number of pairs available.
+			if pairs := int64(*fillZones) * vol.StripesPerZone(); int64(*rot) > pairs {
+				fmt.Fprintf(os.Stderr, "rot: capping %d requested corruptions at %d (one per stripe of %d filled zones)\n",
+					*rot, pairs, *fillZones)
+				*rot = int(pairs)
+			}
+			for i := 0; i < *rot; i++ {
+				var z, s int64
+				for {
+					z = int64(rng.Intn(*fillZones))
+					s = rng.Int63n(vol.StripesPerZone())
+					if !seen[[2]int64{z, s}] {
+						seen[[2]int64{z, s}] = true
+						break
+					}
+				}
+				u := rng.Intn(n - 1)
+				intra := rng.Int63n(*su)
+				pd := n - 1 - int((s+z)%int64(n))
+				dev := (pd + 1 + u) % n
+				if err := devs[dev].CorruptSector(z*cfg.ZoneSize + s**su + intra); err != nil {
+					fmt.Fprintln(os.Stderr, "corrupt:", err)
+					os.Exit(1)
+				}
+			}
+			fmt.Printf("injected %d seeded corruptions (seed %d)\n", *rot, *rotSeed)
+		}
+
+		if *doScrub {
+			sb := scrub.New(scrub.Config{Clock: clk, Target: scrub.RaiznTarget{V: vol}, Repair: true})
+			stats, err := sb.RunPass()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "scrub:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("scrub pass: %d stripes verified, %d skipped, %d mismatches, %d data + %d parity repaired, %d unrepaired, %.1f MiB read in %v\n",
+				stats.Stripes, stats.Skipped, stats.Mismatches, stats.RepairedData,
+				stats.RepairedParity, stats.Unrepaired, float64(stats.BytesRead)/(1<<20), stats.Elapsed)
+		}
+
 		if *degraded {
 			vol.FailDevice(0)
 		}
@@ -70,6 +122,31 @@ func main() {
 			fmt.Printf("  z%-3d %-8v wp=%-8d persisted=%-8d gen=%-3d remapped=%v\n",
 				zd.Index, zd.State, zd.WP, zd.PersistedWP, vol.Generation(zd.Index), zd.Remapped)
 		}
+
+		fmt.Println("\nscrub progress (next stripe to verify / stripes per zone):")
+		for z, pos := range vol.ScrubProgress() {
+			if pos == 0 && vol.Zone(z).State == zns.ZoneEmpty {
+				continue
+			}
+			fmt.Printf("  z%-3d %d/%d  checksum coverage=%d stripes\n",
+				z, pos, vol.StripesPerZone(), vol.ChecksumCoverage(z))
+		}
+
+		mon := scrub.NewMonitor(scrub.MonitorConfig{
+			Clock: clk, Array: scrub.RaiznArray{V: vol},
+			SuspectThreshold: 1, FailThreshold: 100,
+		})
+		mon.Poll()
+		fmt.Println("\ndevice health:")
+		for i := range devs {
+			re, corr := vol.DeviceErrorCounters(i)
+			state := mon.State(i).String()
+			if vol.Degraded() == i {
+				state = "failed (removed)"
+			}
+			fmt.Printf("  dev%d: %-16s read-errors=%-4d corruptions=%d\n", i, state, re, corr)
+		}
+
 		fmt.Println("\nphysical zones (per device):")
 		for i, d := range devs {
 			if *degraded && i == 0 {

@@ -11,6 +11,7 @@ package blockdev
 
 import (
 	"errors"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -33,6 +34,12 @@ var (
 	ErrOutOfRange   = errors.New("blockdev: address out of range")
 	ErrUnaligned    = errors.New("blockdev: IO not sector aligned")
 	ErrPowerLoss    = errors.New("blockdev: IO lost to power failure")
+	// ErrReadMedium is an unrecoverable (latent) media error on a read:
+	// the sector is unreadable but the device is otherwise healthy.
+	ErrReadMedium = errors.New("blockdev: unrecovered read error (latent sector)")
+	// ErrNoData rejects payload-dependent fault injection on a device
+	// configured with DiscardData.
+	ErrNoData = errors.New("blockdev: device discards payload data")
 )
 
 // Config describes a simulated conventional SSD. A flash page holds one
@@ -63,6 +70,15 @@ type Config struct {
 	EraseLatency    time.Duration // per erase-block erase
 
 	DiscardData bool // drop payloads; reads return zeroes
+
+	// Fault-injection model (faults.go), mirroring the zns package:
+	// FaultSeed seeds the dedicated fault RNG, ReadErrorRate is the
+	// per-sector probability that a read grows a latent unreadable
+	// sector, BitRotRate the per-sector probability of silent bit-rot
+	// applied as data is written. Both default to 0.
+	FaultSeed     int64
+	ReadErrorRate float64
+	BitRotRate    float64
 }
 
 // DefaultConfig returns a scaled-down model of the conventional SSDs in
@@ -104,6 +120,8 @@ func (c *Config) validate() error {
 		return errors.New("blockdev: negative overprovision")
 	case c.WriteBandwidth <= 0 || c.ReadBandwidth <= 0:
 		return errors.New("blockdev: bandwidths must be positive")
+	case c.ReadErrorRate < 0 || c.ReadErrorRate > 1 || c.BitRotRate < 0 || c.BitRotRate > 1:
+		return errors.New("blockdev: fault rates must be in [0, 1]")
 	}
 	if c.GCLowWater <= 0 {
 		c.GCLowWater = 2
@@ -157,6 +175,13 @@ type Device struct {
 	readBusy  time.Duration
 
 	unflushed map[int64]struct{} // logical pages written since last flush
+
+	// Fault injection (faults.go).
+	faultRNG         *rand.Rand
+	latentErrs       map[int64]bool // logical sectors with latent read errors
+	injectedReadErrs int64
+	injectedRot      int64
+	readMediumErrs   int64
 
 	// Lifetime counters.
 	hostWriteBytes int64
@@ -271,7 +296,7 @@ func reservePipe(busy *time.Duration, now, occupancy time.Duration) time.Duratio
 	return *busy
 }
 
-func (d *Device) schedule(fut *vclock.Future, at time.Duration, epoch uint64, effect func()) {
+func (d *Device) schedule(fut *vclock.Future, at time.Duration, epoch uint64, err error, effect func()) {
 	now := d.clk.Now()
 	d.clk.AfterFunc(at-now, func() {
 		d.mu.Lock()
@@ -284,7 +309,7 @@ func (d *Device) schedule(fut *vclock.Future, at time.Duration, epoch uint64, ef
 			fut.Complete(ErrPowerLoss)
 			return
 		}
-		fut.Complete(nil)
+		fut.Complete(err)
 	})
 }
 
@@ -415,6 +440,12 @@ func (d *Device) Write(sector int64, data []byte, flags Flag) *vclock.Future {
 		pp := d.programLocked(lp, &d.hostActive)
 		if d.data != nil {
 			copy(d.pageData(pp), data[i*int64(d.cfg.SectorSize):(i+1)*int64(d.cfg.SectorSize)])
+			d.applyBitRotLocked(pp)
+		}
+		// Rewriting a latent sector repairs it (the FTL programs a fresh
+		// page; the grown defect is remapped away).
+		if d.latentErrs[lp] {
+			delete(d.latentErrs, lp)
 		}
 		d.unflushed[lp] = struct{}{}
 	}
@@ -431,7 +462,7 @@ func (d *Device) Write(sector int64, data []byte, flags Flag) *vclock.Future {
 	d.mu.Unlock()
 
 	fut := d.clk.NewFuture()
-	d.schedule(fut, done, epoch, func() {
+	d.schedule(fut, done, epoch, nil, func() {
 		if fua {
 			// Persisting precisely the affected pages is enough for the
 			// tests built on this device; a full-cache flush model is
@@ -474,6 +505,8 @@ func (d *Device) Read(sector int64, buf []byte) *vclock.Future {
 	}
 	d.hostReadBytes += nPages * ss
 
+	rerr := d.readFaultLocked(sector, nPages)
+
 	now := d.clk.Now()
 	occ := d.cfg.ReadOpOverhead + d.xferTime(len(buf), d.cfg.ReadBandwidth)
 	done := reservePipe(&d.readBusy, now, occ) + d.cfg.ReadLatency
@@ -481,7 +514,7 @@ func (d *Device) Read(sector int64, buf []byte) *vclock.Future {
 	d.mu.Unlock()
 
 	fut := d.clk.NewFuture()
-	d.schedule(fut, done, epoch, nil)
+	d.schedule(fut, done, epoch, rerr, nil)
 	return fut
 }
 
@@ -503,7 +536,7 @@ func (d *Device) Flush() *vclock.Future {
 	d.mu.Unlock()
 
 	fut := d.clk.NewFuture()
-	d.schedule(fut, done, epoch, func() {
+	d.schedule(fut, done, epoch, nil, func() {
 		for _, lp := range snap {
 			delete(d.unflushed, lp)
 		}

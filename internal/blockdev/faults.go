@@ -1,0 +1,119 @@
+package blockdev
+
+import "math/rand"
+
+// Latent-error injection for the conventional-SSD model, mirroring the
+// zns package (see internal/zns/faults.go for the semantics rationale).
+// One difference follows from the interface: a conventional device can
+// be rewritten in place, so rewriting a latent logical sector repairs
+// it — which is exactly how mdraid's check/repair scrub fixes
+// unreadable sectors (reconstruct from peers, rewrite in place).
+
+// faultRNGLocked lazily builds the fault RNG. Caller holds d.mu.
+func (d *Device) faultRNGLocked() *rand.Rand {
+	if d.faultRNG == nil {
+		d.faultRNG = rand.New(rand.NewSource(d.cfg.FaultSeed + 1))
+	}
+	return d.faultRNG
+}
+
+// InjectReadError marks the logical sector as a latent read error:
+// every subsequent read covering it completes with ErrReadMedium until
+// the sector is rewritten.
+func (d *Device) InjectReadError(sector int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed {
+		return ErrDeviceFailed
+	}
+	if sector < 0 || sector >= d.cfg.NumSectors {
+		return ErrOutOfRange
+	}
+	if d.latentErrs == nil {
+		d.latentErrs = make(map[int64]bool)
+	}
+	if !d.latentErrs[sector] {
+		d.latentErrs[sector] = true
+		d.injectedReadErrs++
+	}
+	return nil
+}
+
+// CorruptSector flips one bit of the mapped flash page backing the
+// logical sector (silent bit-rot): reads succeed and return the
+// corrupted bytes. The sector must be mapped (written) and the device
+// must store payloads.
+func (d *Device) CorruptSector(sector int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed {
+		return ErrDeviceFailed
+	}
+	if d.data == nil {
+		return ErrNoData
+	}
+	if sector < 0 || sector >= d.cfg.NumSectors {
+		return ErrOutOfRange
+	}
+	pp := d.l2p[sector]
+	if pp == unmapped {
+		return ErrOutOfRange
+	}
+	d.corruptPageLocked(pp)
+	return nil
+}
+
+// corruptPageLocked flips a deterministic-by-rng bit of physical page
+// pp. Caller holds d.mu; d.data is non-nil.
+func (d *Device) corruptPageLocked(pp int64) {
+	rng := d.faultRNGLocked()
+	pg := d.pageData(pp)
+	pg[rng.Intn(len(pg))] ^= 1 << uint(rng.Intn(8))
+	d.injectedRot++
+}
+
+// applyBitRotLocked draws rot for one freshly programmed page. Caller
+// holds d.mu; d.data is non-nil.
+func (d *Device) applyBitRotLocked(pp int64) {
+	if d.cfg.BitRotRate <= 0 {
+		return
+	}
+	if d.faultRNGLocked().Float64() < d.cfg.BitRotRate {
+		d.corruptPageLocked(pp)
+	}
+}
+
+// readFaultLocked decides whether a read of [sector, sector+n) fails
+// with a latent error; rate-injected errors stick to a concrete sector
+// so retries fail identically. Caller holds d.mu.
+func (d *Device) readFaultLocked(sector, nSectors int64) error {
+	for s := sector; s < sector+nSectors; s++ {
+		if d.latentErrs[s] {
+			d.readMediumErrs++
+			return ErrReadMedium
+		}
+	}
+	if d.cfg.ReadErrorRate > 0 {
+		rng := d.faultRNGLocked()
+		if rng.Float64() < d.cfg.ReadErrorRate*float64(nSectors) {
+			bad := sector + rng.Int63n(nSectors)
+			if d.latentErrs == nil {
+				d.latentErrs = make(map[int64]bool)
+			}
+			d.latentErrs[bad] = true
+			d.injectedReadErrs++
+			d.readMediumErrs++
+			return ErrReadMedium
+		}
+	}
+	return nil
+}
+
+// FaultCounters returns lifetime fault-injection counters: sectors
+// marked as latent read errors, pages hit by bit-rot, and reads that
+// completed with ErrReadMedium.
+func (d *Device) FaultCounters() (latentSectors, rottedPages, readMediumErrors int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.injectedReadErrs, d.injectedRot, d.readMediumErrs
+}

@@ -82,6 +82,9 @@ func (v *Volume) checkpointRecords(dev int, kind mdKind) []*record {
 		}
 		v.relocMu.Unlock()
 
+		// Stripe-unit checksum tables of the zones this device persists.
+		out = append(out, v.checksumCheckpointRecords(dev)...)
+
 	case mdParity:
 		// Partial parity for every in-progress stripe whose parity this
 		// device will hold, recomputed from the stripe buffers ("the

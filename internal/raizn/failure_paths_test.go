@@ -43,6 +43,76 @@ func TestAutoDegradeOnReadError(t *testing.T) {
 	})
 }
 
+// TestScrubTriggeredDegradeUnderLoad drives the monitor policy by hand:
+// scrub passes accumulate per-device error counters from injected latent
+// sectors while foreground IO runs concurrently; when the counter
+// crosses the threshold the device is failed mid-workload. The
+// foreground IO, the scrub repairs, and the degradation must all
+// coexist (-race covers the interleavings).
+func TestScrubTriggeredDegradeUnderLoad(t *testing.T) {
+	runVol(t, func(c *vclock.Clock, v *Volume, devs []*zns.Device) {
+		mustWriteV(t, v, 0, 512, 0) // fill zone 0
+		if err := v.Flush(); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+
+		// Latent sectors on one device across three stripes of zone 0:
+		// each scrub repair attributes an error to that device.
+		const target = 2
+		nErrs := 0
+		for s := int64(0); s < 8 && nErrs < 3; s++ {
+			for u := 0; u < v.lt.d; u++ {
+				dev, pba := unitSectorPBA(v, 0, s, u, 0)
+				if dev == target {
+					if err := devs[dev].InjectReadError(pba); err != nil {
+						t.Fatalf("InjectReadError: %v", err)
+					}
+					nErrs++
+					break
+				}
+			}
+		}
+		if nErrs != 3 {
+			t.Fatalf("placed %d latent sectors, want 3", nErrs)
+		}
+
+		// Foreground: writes into zone 1 racing the scrub below.
+		fgDone := c.NewFuture()
+		c.Go(func() {
+			base := v.ZoneSectors()
+			var err error
+			for off := int64(0); off < 512 && err == nil; off += 16 {
+				err = v.Write(base+off, lbaPattern(v, base+off, 16), 0)
+			}
+			fgDone.Complete(err)
+		})
+
+		// Scrub zone 0; apply the fail-threshold policy the monitor
+		// would: 3 attributed errors fail the device.
+		for s := int64(0); s < v.StripesPerZone() && v.Degraded() < 0; s++ {
+			if _, err := v.ScrubStripe(0, s, true); err != nil {
+				t.Fatalf("ScrubStripe(0, %d): %v", s, err)
+			}
+			re, corr := v.DeviceErrorCounters(target)
+			if re+corr >= 3 {
+				if err := v.FailDevice(target); err != nil {
+					t.Fatalf("FailDevice: %v", err)
+				}
+			}
+		}
+		if v.Degraded() != target {
+			re, corr := v.DeviceErrorCounters(target)
+			t.Fatalf("Degraded() = %d, want %d (re=%d corr=%d)", v.Degraded(), target, re, corr)
+		}
+		if err := fgDone.Wait(); err != nil {
+			t.Fatalf("foreground writes: %v", err)
+		}
+		// Everything reads back, served degraded where needed.
+		checkReadV(t, v, 0, 512)
+		checkReadV(t, v, v.ZoneSectors(), 512)
+	})
+}
+
 // TestReplaceDeviceRejectsBadGeometry covers the rebuild abort path.
 func TestReplaceDeviceRejectsBadGeometry(t *testing.T) {
 	runVol(t, func(c *vclock.Clock, v *Volume, devs []*zns.Device) {

@@ -36,6 +36,7 @@ const (
 	recPartialParity
 	recRelocData
 	recRelocParity
+	recChecksums
 
 	// recCheckpoint flags a record written by the metadata garbage
 	// collector rather than by normal operation (paper Fig. 4).
@@ -58,6 +59,8 @@ func (t recType) String() string {
 		s = "reloc-data"
 	case recRelocParity:
 		s = "reloc-parity"
+	case recChecksums:
+		s = "stripe-checksums"
 	default:
 		s = fmt.Sprintf("recType(%d)", uint16(t))
 	}

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"raizn/internal/vclock"
 	"raizn/internal/zns"
@@ -189,11 +190,30 @@ type Volume struct {
 	reloc       map[int][]relocEntry         // logical zone -> data fragments (sorted by startLBA)
 	parityReloc map[int]map[int64]relocEntry // logical zone -> stripe -> relocated parity unit
 
+	// Stripe-unit checksum tables (see checksum.go): per logical zone,
+	// n CRC32-C values per complete stripe plus a per-stripe valid flag.
+	csMu   sync.Mutex
+	cs     [][]uint32
+	csHave [][]bool
+
+	// scrubPos[z] is one past the last stripe the scrubber verified in
+	// zone z this pass epoch (see scrub.go); devErrs holds per-device
+	// health counters fed by foreground reads and scrub.
+	scrubMu  sync.Mutex
+	scrubPos []int64
+	devErrs  []deviceErrors
+
 	zones []*logicalZone
 
 	maxOpen int
 
 	stats statsCounters
+}
+
+// deviceErrors accumulates health-relevant events for one device slot.
+type deviceErrors struct {
+	readErrors  atomic.Int64 // reads failed with a latent/medium error
+	corruptions atomic.Int64 // checksum mismatches attributed to this device
 }
 
 // Create initializes a new RAIZN array over the devices (which must be
@@ -326,6 +346,10 @@ func newVolume(clk *vclock.Clock, devs []*zns.Device, cfg Config) (*Volume, erro
 		reloc:       make(map[int][]relocEntry),
 		parityReloc: make(map[int]map[int64]relocEntry),
 		pendingWALs: make(map[int]uint64),
+		cs:          make([][]uint32, numZones),
+		csHave:      make([][]bool, numZones),
+		scrubPos:    make([]int64, numZones),
+		devErrs:     make([]deviceErrors, len(devs)),
 		zones:       make([]*logicalZone, numZones),
 		maxOpen:     maxOpen,
 	}
@@ -370,6 +394,9 @@ func (v *Volume) SectorSize() int { return v.sectorSize }
 
 // NumZones returns the number of logical zones.
 func (v *Volume) NumZones() int { return v.lt.numZones }
+
+// NumDevices returns the number of device slots in the array.
+func (v *Volume) NumDevices() int { return v.lt.n }
 
 // ZoneSectors returns the capacity (and address-space stride) of a
 // logical zone in sectors: D physical zone capacities.
@@ -467,6 +494,10 @@ func (v *Volume) failDeviceLocked(i int) error {
 // noteDeviceError inspects a sub-IO error and transitions to degraded
 // mode when a device has died underneath us.
 func (v *Volume) noteDeviceError(dev int, err error) {
+	if errors.Is(err, zns.ErrReadMedium) {
+		v.noteReadMedium(dev)
+		return
+	}
 	if errors.Is(err, zns.ErrDeviceFailed) {
 		v.mu.Lock()
 		_ = v.failDeviceLocked(dev)

@@ -1,6 +1,8 @@
 package raizn
 
 import (
+	"errors"
+
 	"raizn/internal/parity"
 	"raizn/internal/vclock"
 	"raizn/internal/zns"
@@ -51,11 +53,22 @@ func (v *Volume) SubmitRead(lba int64, buf []byte) *vclock.Future {
 func (v *Volume) awaitReads(futs []subIO) error {
 	var firstErr error
 	for _, s := range futs {
-		if err := s.fut.Wait(); err != nil {
-			v.noteDeviceError(s.dev, err)
-			if firstErr == nil {
-				firstErr = err
+		err := s.fut.Wait()
+		if err == nil {
+			continue
+		}
+		v.noteDeviceError(s.dev, err)
+		if errors.Is(err, zns.ErrReadMedium) && s.repair != nil && v.Degraded() < 0 {
+			// Latent sector error on a foreground read: reconstruct the
+			// whole piece from parity + surviving units (§4.2 machinery).
+			c := s.repair
+			if rerr := v.degradedReadPiece(c.z, c.s, c.u, c.a, c.b, c.dst, c.wp).Wait(); rerr == nil {
+				v.stats.readErrorRepairs.Add(1)
+				continue
 			}
+		}
+		if firstErr == nil {
+			firstErr = err
 		}
 	}
 	return firstErr
@@ -123,7 +136,17 @@ func (v *Volume) readPiece(z int, s int64, u int, a, b int64, dst []byte, zoneWP
 		*futs = append(*futs, subIO{dev: dev, fut: fut})
 		return nil
 	}
-	return v.readUnitPiece(z, s, u, a, b, dst, futs)
+	// Tag the device sub-reads with reconstruction context so a latent
+	// sector error is transparently read-repaired in awaitReads.
+	pre := len(*futs)
+	if err := v.readUnitPiece(z, s, u, a, b, dst, futs); err != nil {
+		return err
+	}
+	ctx := &repairCtx{z: z, s: s, u: u, a: a, b: b, dst: dst, wp: zoneWP}
+	for i := pre; i < len(*futs); i++ {
+		(*futs)[i].repair = ctx
+	}
+	return nil
 }
 
 // readUnitPiece reads from the unit's owning (live) device, overlaying

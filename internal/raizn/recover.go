@@ -105,6 +105,7 @@ type replayState struct {
 	pp        map[int][]record // logical zone -> partial parity logs
 	reloc     []record         // relocated data fragments
 	prel      []record         // relocated parity units
+	cs        []record         // stripe-unit checksum tables
 }
 
 // recover replays metadata logs and repairs every logical zone
@@ -180,6 +181,10 @@ func (v *Volume) recover() error {
 			if z >= 0 && z < v.lt.numZones && r.gen == v.gen[z] {
 				st.prel = append(st.prel, r)
 			}
+		case recChecksums:
+			// Generation validity is re-checked at apply time, after the
+			// reset-WAL and empty-zone bumps below.
+			st.cs = append(st.cs, r)
 		}
 	}
 
@@ -236,6 +241,17 @@ func (v *Volume) recover() error {
 		genDirty = genDirty || dirty
 	}
 	_ = genDirty
+
+	// Replay stripe-unit checksum tables. The generation counters are
+	// final now, so stale records (zone reset since the record was
+	// written) drop out; coverage is clamped to the complete stripes
+	// below each recovered write pointer.
+	for i := range st.cs {
+		v.applyChecksumRecord(&st.cs[i])
+	}
+	for z := 0; z < v.lt.numZones; z++ {
+		v.clampChecksums(z, v.zones[z].wp/v.lt.stripeSectors())
+	}
 	// Compact zones whose relocation count passed the threshold (§5.2),
 	// then consolidate the metadata zones: re-checkpoint everything live
 	// (including the generation counters bumped above) and re-establish

@@ -99,6 +99,7 @@ func (v *Volume) doResetZone(lz *logicalZone) error {
 
 	// 4. Reset the in-memory zone state.
 	v.dropRelocEntries(z)
+	v.clearZoneChecksums(z)
 	lz.mu.Lock()
 	if lz.state == zns.ZoneOpen {
 		v.mu.Lock()

@@ -1,0 +1,354 @@
+package raizn
+
+import (
+	"errors"
+
+	"raizn/internal/parity"
+	"raizn/internal/zns"
+)
+
+// Scrub support: stripe-granular verify/repair primitives driven by the
+// background scrubber (internal/scrub). A scrub pass walks every
+// complete stripe below each logical zone's write pointer, reads the D
+// data units plus parity, and checks two things: XOR consistency
+// (parity really is the XOR of the data) and, where a checksum row
+// exists (see checksum.go), per-unit CRC32-C integrity.
+//
+// Repair policy — scrub must never "repair" good data into bad:
+//
+//   - XOR consistent, no checksum row: the stripe predates checksum
+//     coverage (or its row was lost with a dead device). Adopt: record
+//     the observed CRCs so future rot is attributable.
+//   - Checksum row present, exactly one unit's CRC mismatching: the
+//     unit is reconstructed from the other units, the reconstruction is
+//     verified against the stored CRC, and — zones being immutable —
+//     the corrected unit is relocated through the §5.2 relocation map.
+//   - A unit that fails with a latent read error is reconstructed the
+//     same way (classic RAID latent-error recovery); when a checksum
+//     row exists the surviving units and the reconstruction are
+//     CRC-verified first, so rot elsewhere in the stripe cannot poison
+//     the repair.
+//   - Anything else (two bad units, XOR mismatch with no row to
+//     attribute it, CRCs that contradict the reconstruction) is counted
+//     unrepairable and the data is left untouched.
+
+// StripeScrubResult reports what one ScrubStripe call did.
+type StripeScrubResult struct {
+	BytesRead      int64 // payload bytes read off the devices
+	Skipped        bool  // stripe not scrubbable now (partial, empty, racing reset, degraded array)
+	Verified       bool  // stripe proven consistent (possibly after repair)
+	Adopted        bool  // checksum row recorded for a previously uncovered stripe
+	Mismatch       bool  // XOR or CRC verification failed
+	ReadErrors     int   // units that failed with a latent read error
+	RepairedData   bool  // a data unit was reconstructed and relocated
+	RepairedParity bool  // the parity unit was reconstructed and relocated
+	Unrepaired     bool  // damage detected but not safely attributable/repairable
+}
+
+// StripesPerZone returns the number of stripes a logical zone holds.
+func (v *Volume) StripesPerZone() int64 { return v.lt.stripesPerZone() }
+
+// ScrubProgress returns, per logical zone, one past the index of the
+// highest stripe verified since the progress was last reset.
+func (v *Volume) ScrubProgress() []int64 {
+	v.scrubMu.Lock()
+	defer v.scrubMu.Unlock()
+	out := make([]int64, len(v.scrubPos))
+	copy(out, v.scrubPos)
+	return out
+}
+
+// ResetScrubProgress zeroes the per-zone scrub positions (start of a
+// new scrub pass).
+func (v *Volume) ResetScrubProgress() {
+	v.scrubMu.Lock()
+	for z := range v.scrubPos {
+		v.scrubPos[z] = 0
+	}
+	v.scrubMu.Unlock()
+}
+
+func (v *Volume) setScrubPos(z int, s int64) {
+	v.scrubMu.Lock()
+	if s+1 > v.scrubPos[z] {
+		v.scrubPos[z] = s + 1
+	}
+	v.scrubMu.Unlock()
+}
+
+// ScrubStripe verifies (and, when repair is set, repairs) stripe s of
+// logical zone z. It returns an error only for environmental failures
+// (dead device mid-scrub, IO beyond the fault model); verification
+// outcomes are reported in the result.
+func (v *Volume) ScrubStripe(z int, s int64, repair bool) (StripeScrubResult, error) {
+	var res StripeScrubResult
+	if z < 0 || z >= v.lt.numZones || s < 0 || s >= v.lt.stripesPerZone() {
+		return res, ErrOutOfRange
+	}
+	skip := func() (StripeScrubResult, error) {
+		res.Skipped = true
+		v.stats.scrubSkippedStripes.Add(1)
+		return res, nil
+	}
+	// While degraded one unit per stripe is already being served by
+	// reconstruction; there is no redundancy left to verify against.
+	if v.Degraded() >= 0 || v.ReadOnly() {
+		return skip()
+	}
+	gen0 := v.Generation(z)
+	lz := v.zones[z]
+	lz.mu.Lock()
+	stable := !lz.resetting && (s+1)*v.lt.stripeSectors() <= lz.wp
+	lz.mu.Unlock()
+	if !stable {
+		return skip()
+	}
+
+	// Read the full stripe: D data units + parity (slot d).
+	ss := int64(v.sectorSize)
+	su := v.lt.su
+	imgs := make([][]byte, v.lt.n)
+	var unreadable []int
+	for u := 0; u <= v.lt.d; u++ {
+		img, err := v.readUnitImage(z, s, u, su)
+		if err != nil {
+			if v.Generation(z) != gen0 {
+				return skip() // the zone was reset under us
+			}
+			if errors.Is(err, zns.ErrReadMedium) {
+				unreadable = append(unreadable, u)
+				res.ReadErrors++
+				continue
+			}
+			return res, err
+		}
+		imgs[u] = img
+		res.BytesRead += su * ss
+	}
+	if v.Generation(z) != gen0 {
+		return skip()
+	}
+
+	crcs := v.StripeChecksums(z, s)
+	switch len(unreadable) {
+	case 0:
+		v.verifyStripeImages(z, s, gen0, imgs, crcs, repair, &res)
+	case 1:
+		v.repairUnreadableUnit(z, s, unreadable[0], imgs, crcs, repair, &res)
+	default:
+		// Multiple unreadable units: beyond single-parity redundancy.
+		res.Mismatch = true
+		res.Unrepaired = true
+		v.stats.scrubMismatches.Add(1)
+		v.stats.scrubUnrepaired.Add(1)
+	}
+
+	if res.Verified {
+		v.stats.scrubbedStripes.Add(1)
+		v.setScrubPos(z, s)
+	}
+	return res, nil
+}
+
+// verifyStripeImages checks a fully readable stripe and repairs at most
+// one CRC-attributed bad unit.
+func (v *Volume) verifyStripeImages(z int, s int64, gen uint64, imgs [][]byte, crcs []uint32, repair bool, res *StripeScrubResult) {
+	xorOK := xorConsistent(imgs)
+	if crcs == nil {
+		if xorOK {
+			// Consistent but uncovered: adopt the observed checksums.
+			v.adoptChecksums(z, s, gen, imgs)
+			res.Adopted = true
+			res.Verified = true
+			return
+		}
+		// Inconsistent with nothing to attribute the damage: repairing
+		// would guess which unit is wrong. Leave the data alone.
+		res.Mismatch = true
+		res.Unrepaired = true
+		v.stats.scrubMismatches.Add(1)
+		v.stats.scrubUnrepaired.Add(1)
+		return
+	}
+
+	var bad []int
+	for u, img := range imgs {
+		if crcOf(img) != crcs[u] {
+			bad = append(bad, u)
+		}
+	}
+	if len(bad) == 0 {
+		if xorOK {
+			res.Verified = true
+			return
+		}
+		// Every unit matches its CRC yet the XOR fails: the row itself
+		// is inconsistent (e.g. adopted from a previously damaged
+		// stripe). Not attributable.
+		res.Mismatch = true
+		res.Unrepaired = true
+		v.stats.scrubMismatches.Add(1)
+		v.stats.scrubUnrepaired.Add(1)
+		return
+	}
+
+	res.Mismatch = true
+	v.stats.scrubMismatches.Add(1)
+	if len(bad) > 1 {
+		res.Unrepaired = true
+		v.stats.scrubUnrepaired.Add(1)
+		return
+	}
+
+	u := bad[0]
+	v.noteCorruption(v.unitDevice(z, s, u))
+	want := reconstructUnit(imgs, u)
+	if crcOf(want) != crcs[u] {
+		// The reconstruction does not match the recorded CRC either:
+		// more than one unit is wrong in a way the CRCs cannot pin down.
+		res.Unrepaired = true
+		v.stats.scrubUnrepaired.Add(1)
+		return
+	}
+	if !repair {
+		return
+	}
+	if err := v.relocateRepairedUnit(z, s, u, want); err != nil {
+		res.Unrepaired = true
+		v.stats.scrubUnrepaired.Add(1)
+		return
+	}
+	if u == v.lt.d {
+		res.RepairedParity = true
+		v.stats.scrubRepairedParity.Add(1)
+	} else {
+		res.RepairedData = true
+		v.stats.scrubRepairedData.Add(1)
+	}
+	res.Verified = true
+}
+
+// repairUnreadableUnit reconstructs the single unit that failed with a
+// latent read error from the surviving units.
+func (v *Volume) repairUnreadableUnit(z int, s int64, u int, imgs [][]byte, crcs []uint32, repair bool, res *StripeScrubResult) {
+	v.noteCorruption(v.unitDevice(z, s, u))
+	if crcs != nil {
+		// Verify the survivors first: silent rot in a survivor would
+		// poison the reconstruction.
+		for u2, img := range imgs {
+			if u2 == u || img == nil {
+				continue
+			}
+			if crcOf(img) != crcs[u2] {
+				res.Mismatch = true
+				res.Unrepaired = true
+				v.stats.scrubMismatches.Add(1)
+				v.stats.scrubUnrepaired.Add(1)
+				return
+			}
+		}
+	}
+	want := reconstructUnit(imgs, u)
+	if crcs != nil && crcOf(want) != crcs[u] {
+		res.Mismatch = true
+		res.Unrepaired = true
+		v.stats.scrubMismatches.Add(1)
+		v.stats.scrubUnrepaired.Add(1)
+		return
+	}
+	if !repair {
+		return
+	}
+	if err := v.relocateRepairedUnit(z, s, u, want); err != nil {
+		res.Unrepaired = true
+		v.stats.scrubUnrepaired.Add(1)
+		return
+	}
+	if u == v.lt.d {
+		res.RepairedParity = true
+		v.stats.scrubRepairedParity.Add(1)
+	} else {
+		res.RepairedData = true
+		v.stats.scrubRepairedData.Add(1)
+	}
+	res.Verified = true
+}
+
+// unitDevice maps a CRC slot (data unit index, or d for parity) to the
+// owning device.
+func (v *Volume) unitDevice(z int, s int64, u int) int {
+	if u == v.lt.d {
+		return v.lt.parityDev(z, s)
+	}
+	return v.lt.dataDev(z, s, u)
+}
+
+// xorConsistent reports whether the XOR of all unit images (data +
+// parity) is zero.
+func xorConsistent(imgs [][]byte) bool {
+	acc := make([]byte, len(imgs[0]))
+	for _, img := range imgs {
+		parity.XORInto(acc, img)
+	}
+	for _, b := range acc {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// reconstructUnit XORs every unit image except slot u — by the parity
+// equation that is slot u's content.
+func reconstructUnit(imgs [][]byte, u int) []byte {
+	var out []byte
+	for u2, img := range imgs {
+		if u2 == u || img == nil {
+			continue
+		}
+		if out == nil {
+			out = append([]byte(nil), img...)
+			continue
+		}
+		parity.XORInto(out, img)
+	}
+	return out
+}
+
+// adoptChecksums records the observed CRC row of an XOR-consistent but
+// uncovered stripe, in memory and in the metadata log.
+func (v *Volume) adoptChecksums(z int, s int64, gen uint64, imgs [][]byte) {
+	crcs := make([]uint32, len(imgs))
+	for u, img := range imgs {
+		crcs[u] = crcOf(img)
+	}
+	v.setStripeChecksums(z, s, crcs)
+	v.stats.checksumRecords.Add(1)
+	m := v.mdm(v.checksumDev(z))
+	if m == nil {
+		return
+	}
+	fut, _, err := m.append(&record{
+		typ:    recChecksums,
+		gen:    gen,
+		inline: encodeChecksums(z, s, crcs),
+	}, 0)
+	if err == nil {
+		_ = fut.Wait()
+	}
+}
+
+// relocateRepairedUnit persists a corrected unit through the §5.2
+// relocation machinery: the physical sectors are pinned by zone
+// immutability, so the payload goes to the owning device's metadata
+// zone and shadows the arithmetic location from the relocation map.
+func (v *Volume) relocateRepairedUnit(z int, s int64, u int, data []byte) error {
+	isParity := u == v.lt.d
+	dev := v.unitDevice(z, s, u)
+	var lba int64
+	if !isParity {
+		lba = v.lt.stripeStart(z, s) + int64(u)*v.lt.su
+	}
+	p := v.relocationRecord(dev, data, lba, isParity, z, s)
+	return v.awaitSubIOs(v.issuePendingMD([]pendingMD{p}))
+}

@@ -14,6 +14,15 @@ type Stats struct {
 	ZoneResets        int64 // logical zone resets completed
 	MetadataGCs       int64 // metadata zone roll-overs
 	DegradedReads     int64 // stripe-unit pieces served by reconstruction
+
+	ChecksumRecords     int64 // stripe-checksum metadata records written
+	ReadErrorRepairs    int64 // foreground reads recovered via reconstruction
+	ScrubbedStripes     int64 // stripes fully verified by scrub
+	ScrubSkippedStripes int64 // stripes scrub could not verify (partial/racing)
+	ScrubMismatches     int64 // stripes where XOR or CRC verification failed
+	ScrubRepairedData   int64 // corrupted data units repaired by scrub
+	ScrubRepairedParity int64 // corrupted parity units repaired by scrub
+	ScrubUnrepaired     int64 // mismatched stripes scrub could not attribute/repair
 }
 
 // statsCounters is embedded in Volume; all fields are updated atomically.
@@ -27,6 +36,15 @@ type statsCounters struct {
 	zoneResets        atomic.Int64
 	metadataGCs       atomic.Int64
 	degradedReads     atomic.Int64
+
+	checksumRecords     atomic.Int64
+	readErrorRepairs    atomic.Int64
+	scrubbedStripes     atomic.Int64
+	scrubSkippedStripes atomic.Int64
+	scrubMismatches     atomic.Int64
+	scrubRepairedData   atomic.Int64
+	scrubRepairedParity atomic.Int64
+	scrubUnrepaired     atomic.Int64
 }
 
 // Stats returns a snapshot of the volume's lifetime counters.
@@ -41,6 +59,15 @@ func (v *Volume) Stats() Stats {
 		ZoneResets:        v.stats.zoneResets.Load(),
 		MetadataGCs:       v.stats.metadataGCs.Load(),
 		DegradedReads:     v.stats.degradedReads.Load(),
+
+		ChecksumRecords:     v.stats.checksumRecords.Load(),
+		ReadErrorRepairs:    v.stats.readErrorRepairs.Load(),
+		ScrubbedStripes:     v.stats.scrubbedStripes.Load(),
+		ScrubSkippedStripes: v.stats.scrubSkippedStripes.Load(),
+		ScrubMismatches:     v.stats.scrubMismatches.Load(),
+		ScrubRepairedData:   v.stats.scrubRepairedData.Load(),
+		ScrubRepairedParity: v.stats.scrubRepairedParity.Load(),
+		ScrubUnrepaired:     v.stats.scrubUnrepaired.Load(),
 	}
 }
 

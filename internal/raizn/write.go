@@ -105,8 +105,22 @@ func (v *Volume) SubmitWrite(lba int64, data []byte, flags zns.Flag) *vclock.Fut
 // subIO pairs a completion future with the device it went to, so device
 // deaths can be folded into degraded mode instead of failing the write.
 type subIO struct {
-	dev int
-	fut *vclock.Future
+	dev    int
+	fut    *vclock.Future
+	repair *repairCtx // foreground reads: reconstruction fallback on a medium error
+}
+
+// repairCtx carries enough context to transparently re-serve a failed
+// read piece by parity reconstruction (read-repair of latent sector
+// errors). The reconstruction path issues plain device reads, so repair
+// never nests.
+type repairCtx struct {
+	z    int
+	s    int64
+	u    int
+	a, b int64
+	dst  []byte
+	wp   int64 // zone write pointer snapshot from the original read plan
 }
 
 // pendingMD is a metadata append prepared under a zone lock and issued
@@ -250,6 +264,7 @@ func (v *Volume) issueWriteLocked(lz *logicalZone, off int64, data []byte, flags
 			} else {
 				v.issueParityLocked(lz, s, buf, flags, &futs, &pending)
 			}
+			v.recordStripeChecksumsLocked(lz, s, buf, &pending)
 			delete(lz.active, s)
 			buf.stripe = -1
 			buf.fill = 0

@@ -1,0 +1,68 @@
+package scrub
+
+import (
+	"raizn/internal/mdraid"
+	"raizn/internal/raizn"
+)
+
+// RaiznTarget adapts a RAIZN volume to the scrubber: regions are
+// logical zones, and stripe verification/repair is the volume's
+// checksum-aware ScrubStripe.
+type RaiznTarget struct {
+	V *raizn.Volume
+}
+
+func (t RaiznTarget) Regions() int              { return t.V.NumZones() }
+func (t RaiznTarget) RegionStripes(r int) int64 { return t.V.StripesPerZone() }
+func (t RaiznTarget) ResetProgress()            { t.V.ResetScrubProgress() }
+
+func (t RaiznTarget) ScrubStripe(r int, s int64, repair bool) (StripeResult, error) {
+	res, err := t.V.ScrubStripe(r, s, repair)
+	return StripeResult{
+		BytesRead:      res.BytesRead,
+		Skipped:        res.Skipped,
+		Mismatch:       res.Mismatch,
+		ReadErrors:     res.ReadErrors,
+		RepairedData:   res.RepairedData,
+		RepairedParity: res.RepairedParity,
+		Unrepaired:     res.Unrepaired,
+	}, err
+}
+
+// RaiznArray adapts a RAIZN volume to the health monitor.
+type RaiznArray struct {
+	V *raizn.Volume
+}
+
+func (a RaiznArray) NumDevices() int { return a.V.NumDevices() }
+
+func (a RaiznArray) DeviceErrors(i int) (readErrors, corruptions int64) {
+	return a.V.DeviceErrorCounters(i)
+}
+
+func (a RaiznArray) Degraded() bool { return a.V.Degraded() >= 0 }
+
+func (a RaiznArray) FailDevice(i int) error { return a.V.FailDevice(i) }
+
+// MdraidTarget adapts the md baseline's check/repair scrub: one region
+// of perDev stripe rows.
+type MdraidTarget struct {
+	V *mdraid.Volume
+}
+
+func (t MdraidTarget) Regions() int              { return 1 }
+func (t MdraidTarget) RegionStripes(r int) int64 { return t.V.NumStripes() }
+func (t MdraidTarget) ResetProgress()            {}
+
+func (t MdraidTarget) ScrubStripe(r int, s int64, repair bool) (StripeResult, error) {
+	res, err := t.V.CheckStripe(s, repair)
+	return StripeResult{
+		BytesRead:      res.BytesRead,
+		Skipped:        res.Skipped,
+		Mismatch:       res.Mismatch,
+		ReadErrors:     res.ReadErrors,
+		RepairedData:   res.RepairedData,
+		RepairedParity: res.RepairedParity,
+		Unrepaired:     res.Unrepaired,
+	}, err
+}

@@ -232,6 +232,10 @@ func (d *Device) Read(sector int64, buf []byte) *vclock.Future {
 	}
 	d.hostReadBytes += nSectors * ss
 
+	// Latent media errors: the transfer is attempted (it occupies the
+	// pipe and pays the latency) but completes with ErrReadMedium.
+	rerr := d.readFaultLocked(sector, nSectors)
+
 	now := d.clk.Now()
 	occ := d.cfg.ReadOpOverhead + d.xferTime(int(nSectors)*d.cfg.SectorSize, d.cfg.ReadBandwidth)
 	done := reservePipe(&d.readBusy, now, occ) + d.cfg.ReadLatency
@@ -239,7 +243,7 @@ func (d *Device) Read(sector int64, buf []byte) *vclock.Future {
 	d.mu.Unlock()
 
 	fut := d.clk.NewFuture()
-	d.schedule(fut, done, epoch, nil, nil)
+	d.schedule(fut, done, epoch, rerr, nil)
 	return fut
 }
 
@@ -290,6 +294,7 @@ func (d *Device) persistZoneLocked(z int, upTo int64) {
 	if upTo > zo.wp {
 		upTo = zo.wp
 	}
+	d.applyBitRotLocked(z, zo.pwp, upTo)
 	zo.pwp = upTo
 	keep := zo.unflushed[:0]
 	for _, e := range zo.unflushed {
@@ -337,6 +342,7 @@ func (d *Device) ResetZone(z int) *vclock.Future {
 	zo.unflushed = nil
 	zo.data = nil
 	d.dropMetaLocked(z)
+	d.dropFaultsLocked(z)
 	d.resetCount++
 
 	now := d.clk.Now()

@@ -16,6 +16,7 @@ package zns
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -83,6 +84,13 @@ var (
 	ErrPowerLoss       = errors.New("zns: IO lost to power failure")
 	ErrOutOfRange      = errors.New("zns: address out of range")
 	ErrUnaligned       = errors.New("zns: IO not sector aligned")
+	// ErrReadMedium is an unrecoverable (latent) media error on a read:
+	// the sector is unreadable but the device is otherwise healthy,
+	// unlike ErrDeviceFailed.
+	ErrReadMedium = errors.New("zns: unrecovered read error (latent sector)")
+	// ErrNoData rejects payload-dependent fault injection on a device
+	// configured with DiscardData.
+	ErrNoData = errors.New("zns: device discards payload data")
 )
 
 // Config describes a simulated ZNS device. Capacities are expressed in
@@ -128,6 +136,16 @@ type Config struct {
 	// DiscardData drops write payloads (reads return zeroes). Used by
 	// large benchmarks where only timing and zone metadata matter.
 	DiscardData bool
+
+	// Fault-injection model (faults.go). FaultSeed seeds the dedicated
+	// fault RNG so injected campaigns replay bit-identically.
+	// ReadErrorRate is the per-sector probability that a read grows a
+	// latent (persistent) unreadable sector; BitRotRate is the
+	// per-sector probability of silent bit-rot applied when data
+	// reaches media. Both default to 0 (no spontaneous faults).
+	FaultSeed     int64
+	ReadErrorRate float64
+	BitRotRate    float64
 }
 
 // DefaultConfig returns a scaled-down model of the paper's WD Ultrastar DC
@@ -167,6 +185,8 @@ func (c *Config) validate() error {
 		return errors.New("zns: MaxOpenZones must be positive")
 	case c.WriteBandwidth <= 0 || c.ReadBandwidth <= 0:
 		return errors.New("zns: bandwidths must be positive")
+	case c.ReadErrorRate < 0 || c.ReadErrorRate > 1 || c.BitRotRate < 0 || c.BitRotRate > 1:
+		return errors.New("zns: fault rates must be in [0, 1]")
 	}
 	if c.MaxActiveZones == 0 {
 		c.MaxActiveZones = c.MaxOpenZones
@@ -211,6 +231,13 @@ type Device struct {
 	readBusy  time.Duration // read pipe busy-until
 
 	meta map[int64][]byte // per-sector logical metadata (ext.go)
+
+	// Fault injection (faults.go).
+	faultRNG         *rand.Rand     // seeded from cfg.FaultSeed, lazily built
+	latentErrs       map[int64]bool // absolute sectors with latent read errors
+	injectedReadErrs int64          // sectors marked latent (explicit + rate)
+	injectedRot      int64          // sectors hit by bit-rot (explicit + rate)
+	readMediumErrs   int64          // reads completed with ErrReadMedium
 
 	// Lifetime counters, for write-amplification accounting in tests
 	// and the experiment harness.
