@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+	"time"
+
+	"raizn/internal/fio"
+	"raizn/internal/raizn"
+	"raizn/internal/vclock"
+	"raizn/internal/zns"
+)
+
+func init() {
+	register(Experiment{
+		Name:  "writepath",
+		Title: "PR3 write-path overhaul: sub-IO coalescing vs the legacy per-sub-IO path",
+		Run:   runWritePath,
+	})
+}
+
+// The write-path experiment quantifies the PR3 overhaul along both of
+// its axes:
+//
+//   - Simulated device time: per-device sub-IO coalescing merges the
+//     physically adjacent stripe units a multi-stripe write puts on each
+//     device into one vectored command, so the per-command overhead
+//     (WriteOpOverhead + completion latency) is paid once per merged run
+//     instead of once per stripe unit. The gain is largest for small
+//     stripe units, where a given block touches the most stripes.
+//   - Host CPU: the three-phase plan/compute/submit pipeline computes
+//     parity and CRCs outside the zone lock and recycles its write
+//     state, parity images and scratch through pools, cutting ns/op and
+//     allocs/op.
+//
+// Results go to the report writer and to BENCH_pr3.json in the current
+// directory (committed at the repo root as the PR's benchmark baseline).
+
+// wpSimResult is one simulated fio datapoint pair.
+type wpSimResult struct {
+	SU           int64   `json:"su_sectors"`
+	BS           int64   `json:"bs_sectors"`
+	Jobs         int     `json:"jobs"`
+	LegacyMiBs   float64 `json:"legacy_mib_s"`
+	CoalescedMiB float64 `json:"coalesced_mib_s"`
+	GainPct      float64 `json:"gain_pct"`
+	LegacyP50us  float64 `json:"legacy_p50_us"`
+	CoalP50us    float64 `json:"coalesced_p50_us"`
+	LegacyP99us  float64 `json:"legacy_p99_us"`
+	CoalP99us    float64 `json:"coalesced_p99_us"`
+}
+
+// wpHostResult is one host-side microbenchmark pair.
+type wpHostResult struct {
+	Name            string  `json:"name"`
+	LegacyNsOp      int64   `json:"legacy_ns_op"`
+	CoalescedNsOp   int64   `json:"coalesced_ns_op"`
+	LegacyAllocs    int64   `json:"legacy_allocs_op"`
+	CoalescedAllocs int64   `json:"coalesced_allocs_op"`
+	SpeedupPct      float64 `json:"speedup_pct"`
+	AllocsRedPct    float64 `json:"allocs_reduction_pct"`
+}
+
+type wpReport struct {
+	Experiment string         `json:"experiment"`
+	Quick      bool           `json:"quick"`
+	Simulated  []wpSimResult  `json:"simulated"`
+	Host       []wpHostResult `json:"host"`
+}
+
+// newRaiznWP builds a RAIZN array with the write path selected.
+func newRaiznWP(clk *vclock.Clock, sc scale, su int64, legacy bool) (*raizn.Volume, error) {
+	devs := make([]*zns.Device, sc.numDevices)
+	for i := range devs {
+		devs[i] = zns.NewDevice(clk, znsConfig(sc, true))
+	}
+	rcfg := raizn.DefaultConfig()
+	rcfg.StripeUnitSectors = su
+	rcfg.LegacyWritePath = legacy
+	return raizn.Create(clk, devs, rcfg)
+}
+
+// wpFioWrite runs a sequential-write pass over the whole volume (split
+// across jobs concurrent regions) on a fresh array and returns the
+// aggregate throughput and latency percentiles.
+func wpFioWrite(sc scale, su, bs int64, jobs int, legacy bool) (mibs, p50us, p99us float64) {
+	clk := vclock.New()
+	clk.Run(func() {
+		v, err := newRaiznWP(clk, sc, su, legacy)
+		if err != nil {
+			panic(err)
+		}
+		tgt := fio.RaiznTarget{V: v}
+		size := tgt.NumSectors()
+		per := size / int64(jobs)
+		per = per / bs * bs
+		var js []fio.Job
+		for j := 0; j < jobs; j++ {
+			js = append(js, fio.Job{Pattern: fio.SeqWrite, BlockSectors: bs, QueueDepth: 32,
+				Offset: int64(j) * per, Size: per, Seed: int64(j)})
+		}
+		res := fio.Run(clk, tgt, js, fio.Options{})
+		mibs = res.Throughput
+		p50us = float64(res.Hist.Percentile(50)) / float64(time.Microsecond)
+		p99us = float64(res.Hist.Percentile(99)) / float64(time.Microsecond)
+	})
+	return
+}
+
+// wpHostBench measures host-side cost (real ns/op, allocs/op) of
+// sequential writes of nSectors through the chosen write path.
+func wpHostBench(sc scale, su, nSectors int64, legacy bool) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		clk := vclock.New()
+		clk.Run(func() {
+			v, err := newRaiznWP(clk, sc, su, legacy)
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf := make([]byte, nSectors*int64(v.SectorSize()))
+			var lba int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if lba+nSectors > v.NumSectors() {
+					b.StopTimer()
+					for z := 0; z < v.NumZones(); z++ {
+						if err := v.ResetZone(z); err != nil {
+							b.Fatal(err)
+						}
+					}
+					lba = 0
+					b.StartTimer()
+				}
+				if err := v.Write(lba, buf, 0); err != nil {
+					b.Fatal(err)
+				}
+				lba += nSectors
+			}
+		})
+	})
+}
+
+func runWritePath(w io.Writer, quick bool) error {
+	sc := scaleFor(quick)
+	rep := wpReport{Experiment: "writepath", Quick: quick}
+
+	sus := []int64{4, 16}
+	bss := []int64{16, 64, 256}
+	jobsList := []int{1, 4}
+	if quick {
+		sus = []int64{4}
+		bss = []int64{64}
+		jobsList = []int{1}
+	}
+
+	fmt.Fprintf(w, "\n-- simulated sequential write, coalesced vs legacy --\n")
+	t := newTable(w, "su", "bs", "jobs", "legacy MiB/s", "coalesced MiB/s", "gain", "p50 µs (l/c)", "p99 µs (l/c)")
+	for _, su := range sus {
+		for _, bs := range bss {
+			for _, jobs := range jobsList {
+				lm, lp50, lp99 := wpFioWrite(sc, su, bs, jobs, true)
+				cm, cp50, cp99 := wpFioWrite(sc, su, bs, jobs, false)
+				gain := (cm - lm) / lm * 100
+				rep.Simulated = append(rep.Simulated, wpSimResult{
+					SU: su, BS: bs, Jobs: jobs,
+					LegacyMiBs: lm, CoalescedMiB: cm, GainPct: gain,
+					LegacyP50us: lp50, CoalP50us: cp50,
+					LegacyP99us: lp99, CoalP99us: cp99,
+				})
+				t.row(kib(su), kib(bs), fmt.Sprintf("%d", jobs), f1(lm), f1(cm),
+					fmt.Sprintf("%+.1f%%", gain),
+					fmt.Sprintf("%.1f/%.1f", lp50, cp50),
+					fmt.Sprintf("%.1f/%.1f", lp99, cp99))
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "\n-- host cost per Write (real CPU), coalesced vs legacy --\n")
+	th := newTable(w, "workload", "legacy ns/op", "coalesced ns/op", "speedup", "legacy allocs", "coalesced allocs", "allocs cut")
+	hostCases := []struct {
+		name  string
+		su, n int64
+	}{
+		{"4K", 16, 1},
+		{"4-stripe (su=16)", 16, 16 * int64(sc.numDevices-1) * 4},
+	}
+	if quick {
+		hostCases = hostCases[1:]
+	}
+	for _, hc := range hostCases {
+		lr := wpHostBench(sc, hc.su, hc.n, true)
+		cr := wpHostBench(sc, hc.su, hc.n, false)
+		speedup := float64(lr.NsPerOp()-cr.NsPerOp()) / float64(lr.NsPerOp()) * 100
+		acut := float64(lr.AllocsPerOp()-cr.AllocsPerOp()) / float64(lr.AllocsPerOp()) * 100
+		rep.Host = append(rep.Host, wpHostResult{
+			Name:       hc.name,
+			LegacyNsOp: lr.NsPerOp(), CoalescedNsOp: cr.NsPerOp(),
+			LegacyAllocs: lr.AllocsPerOp(), CoalescedAllocs: cr.AllocsPerOp(),
+			SpeedupPct: speedup, AllocsRedPct: acut,
+		})
+		th.row(hc.name,
+			fmt.Sprintf("%d", lr.NsPerOp()), fmt.Sprintf("%d", cr.NsPerOp()),
+			fmt.Sprintf("%+.1f%%", speedup),
+			fmt.Sprintf("%d", lr.AllocsPerOp()), fmt.Sprintf("%d", cr.AllocsPerOp()),
+			fmt.Sprintf("%+.1f%%", acut))
+	}
+
+	if quick {
+		// Quick runs (and the package test smoke) must not overwrite the
+		// committed full-scale baseline.
+		fmt.Fprintf(w, "\nquick run: BENCH_pr3.json not written\n")
+		return nil
+	}
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_pr3.json", append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nwrote BENCH_pr3.json\n")
+	return nil
+}

@@ -475,6 +475,75 @@ func (d *Device) Write(sector int64, data []byte, flags Flag) *vclock.Future {
 	return fut
 }
 
+// Writev submits one write command whose payload is gathered from segs
+// (a scatter list). Like zns.Device.Writev it pays WriteOpOverhead once
+// and occupies the write pipe for a single transfer of the combined
+// length; semantics match Write of the concatenated payload.
+func (d *Device) Writev(sector int64, segs [][]byte, flags Flag) *vclock.Future {
+	if len(segs) == 0 {
+		return d.fail(ErrUnaligned)
+	}
+	if len(segs) == 1 {
+		return d.Write(sector, segs[0], flags)
+	}
+	var nPages int64
+	for _, s := range segs {
+		if len(s) == 0 || len(s)%d.cfg.SectorSize != 0 {
+			return d.fail(ErrUnaligned)
+		}
+		nPages += int64(len(s) / d.cfg.SectorSize)
+	}
+	if sector < 0 || sector+nPages > d.cfg.NumSectors {
+		return d.fail(ErrOutOfRange)
+	}
+
+	d.mu.Lock()
+	if d.failed {
+		d.mu.Unlock()
+		return d.fail(ErrDeviceFailed)
+	}
+	ss := int64(d.cfg.SectorSize)
+	var gcCost time.Duration
+	lp := sector
+	for _, seg := range segs {
+		for i := int64(0); i < int64(len(seg))/ss; i, lp = i+1, lp+1 {
+			if len(d.free) <= d.cfg.GCLowWater {
+				gcCost += d.gcLocked()
+			}
+			pp := d.programLocked(lp, &d.hostActive)
+			if d.data != nil {
+				copy(d.pageData(pp), seg[i*ss:(i+1)*ss])
+				d.applyBitRotLocked(pp)
+			}
+			if d.latentErrs[lp] {
+				delete(d.latentErrs, lp)
+			}
+			d.unflushed[lp] = struct{}{}
+		}
+	}
+	d.hostWriteBytes += nPages * ss
+
+	now := d.clk.Now()
+	occ := gcCost + d.cfg.WriteOpOverhead + d.xferTime(int(nPages*ss), d.cfg.WriteBandwidth)
+	if flags&Preflush != 0 {
+		occ += d.cfg.FlushLatency
+	}
+	done := reservePipe(&d.writeBusy, now, occ) + d.cfg.WriteLatency
+	epoch := d.epoch
+	fua := flags&(FUA|Preflush) != 0
+	d.mu.Unlock()
+
+	fut := d.clk.NewFuture()
+	d.schedule(fut, done, epoch, nil, func() {
+		if fua {
+			for i := int64(0); i < nPages; i++ {
+				delete(d.unflushed, sector+i)
+			}
+		}
+	})
+	return fut
+}
+
 // Read fills buf starting at the absolute sector. Unwritten (trimmed)
 // sectors read as zeroes.
 func (d *Device) Read(sector int64, buf []byte) *vclock.Future {

@@ -49,38 +49,8 @@ func (v *Volume) SubmitAppend(zone int, data []byte, flags zns.Flag) (int64, *vc
 	}
 	lba := v.lt.zoneStart(zone) + off
 	lz.wp = off + nSectors
-	full := lz.wp == v.lt.zoneSectors()
-	v.stats.logicalWriteBytes.Add(int64(len(data)))
-
-	futs, pending, err := v.issueWriteLocked(lz, off, data, flags)
-	if full && err == nil {
-		v.closeZoneSlot(lz, zns.ZoneFull)
-	}
-	lz.mu.Unlock()
-	if err != nil {
-		return -1, v.clk.Completed(err)
-	}
-	futs = append(futs, v.issuePendingMD(pending)...)
-
-	result := v.clk.NewFuture()
-	end := off + nSectors
-	v.clk.Go(func() {
-		if err := v.awaitSubIOs(futs); err != nil {
-			v.mu.Lock()
-			v.readOnly = true
-			v.mu.Unlock()
-			result.Complete(err)
-			return
-		}
-		if flags&(zns.FUA|zns.Preflush) != 0 {
-			if err := v.persistUpTo(lz, end); err != nil {
-				result.Complete(err)
-				return
-			}
-		}
-		result.Complete(nil)
-	})
-	return lba, result
+	// runWrite unlocks lz.mu; appends share the whole write pipeline.
+	return lba, v.runWrite(lz, off, data, flags)
 }
 
 // Append appends data to the logical zone and blocks until completion,

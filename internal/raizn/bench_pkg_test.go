@@ -13,6 +13,11 @@ import (
 
 func benchVolume(b *testing.B, fn func(c *vclock.Clock, v *Volume)) {
 	b.Helper()
+	benchVolumeCfg(b, DefaultConfig(), fn)
+}
+
+func benchVolumeCfg(b *testing.B, vcfg Config, fn func(c *vclock.Clock, v *Volume)) {
+	b.Helper()
 	c := vclock.New()
 	c.Run(func() {
 		cfg := zns.DefaultConfig()
@@ -21,13 +26,66 @@ func benchVolume(b *testing.B, fn func(c *vclock.Clock, v *Volume)) {
 		for i := range devs {
 			devs[i] = zns.NewDevice(c, cfg)
 		}
-		v, err := Create(c, devs, DefaultConfig())
+		v, err := Create(c, devs, vcfg)
 		if err != nil {
 			b.Fatal(err)
 		}
 		b.ResetTimer()
 		fn(c, v)
 	})
+}
+
+// benchSeqWrite drives sequential whole-volume writes of the given size,
+// resetting all zones on wrap. With allocs set it reports host-side
+// allocations per operation — the coalesced path's zero-allocation
+// criterion is measured here.
+func benchSeqWrite(b *testing.B, vcfg Config, nSectors int64) {
+	benchVolumeCfg(b, vcfg, func(c *vclock.Clock, v *Volume) {
+		buf := make([]byte, nSectors*int64(v.SectorSize()))
+		b.SetBytes(int64(len(buf)))
+		b.ReportAllocs()
+		var lba int64
+		for i := 0; i < b.N; i++ {
+			if lba+nSectors > v.NumSectors() {
+				b.StopTimer()
+				for z := 0; z < v.NumZones(); z++ {
+					v.ResetZone(z)
+				}
+				lba = 0
+				b.StartTimer()
+			}
+			if err := v.Write(lba, buf, 0); err != nil {
+				b.Fatal(err)
+			}
+			lba += nSectors
+		}
+	})
+}
+
+// SubmitWrite host-cost benchmarks, coalesced (default) vs the
+// pre-overhaul legacy path. The interesting columns are ns/op and
+// allocs/op: the coalesced path pools its write state and parity images.
+
+func BenchmarkSubmitWrite4K(b *testing.B)  { benchSeqWrite(b, DefaultConfig(), 1) }
+func BenchmarkSubmitWrite16K(b *testing.B) { benchSeqWrite(b, DefaultConfig(), 4) }
+func BenchmarkSubmitWriteStripe(b *testing.B) {
+	benchSeqWrite(b, DefaultConfig(), DefaultConfig().StripeUnitSectors*4)
+}
+
+// A 4-stripe write is where coalescing pays: each device receives 4
+// physically adjacent stripe units, which merge into one vectored
+// command instead of 4 separate ones.
+func BenchmarkSubmitWrite4Stripe(b *testing.B) {
+	benchSeqWrite(b, DefaultConfig(), DefaultConfig().StripeUnitSectors*16)
+}
+
+func BenchmarkSubmitWrite4KLegacy(b *testing.B)  { benchSeqWrite(b, legacyConfig(), 1) }
+func BenchmarkSubmitWrite16KLegacy(b *testing.B) { benchSeqWrite(b, legacyConfig(), 4) }
+func BenchmarkSubmitWriteStripeLegacy(b *testing.B) {
+	benchSeqWrite(b, legacyConfig(), DefaultConfig().StripeUnitSectors*4)
+}
+func BenchmarkSubmitWrite4StripeLegacy(b *testing.B) {
+	benchSeqWrite(b, legacyConfig(), DefaultConfig().StripeUnitSectors*16)
 }
 
 func BenchmarkVolumeWrite4K(b *testing.B) {

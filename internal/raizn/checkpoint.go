@@ -99,6 +99,12 @@ func (v *Volume) checkpointRecords(dev int, kind mdKind) []*record {
 				if v.lt.parityDev(z, s) != dev || buf.fill == 0 {
 					continue
 				}
+				if buf.fill == v.lt.stripeSectors() {
+					// Completed stripe whose buffer is still pinned for a
+					// pending submit phase: its full parity unit is queued
+					// for the arithmetic location, no log needed.
+					continue
+				}
 				img := v.parityImageLocked(buf, v.lt.intraRegions(0, buf.fill))
 				out = append(out, &record{
 					typ:      recPartialParity,
@@ -262,6 +268,7 @@ func (v *Volume) consolidateDevice(dev int, d *zns.Device) error {
 	}
 	v.mu.Lock()
 	v.md[dev] = m
+	v.publishDevTableLocked()
 	v.mu.Unlock()
 
 	// Relocation records rewritten by the checkpoint now live at new

@@ -78,6 +78,12 @@ type Config struct {
 	// compacted at mount, rewriting the affected physical zones so all
 	// data returns to its arithmetic location. Zero picks the default.
 	RelocationThreshold int
+	// LegacyWritePath disables per-device sub-IO coalescing and the
+	// three-phase (plan/compute/submit) write pipeline, issuing every
+	// stripe-unit sub-IO as its own device command with parity computed
+	// under the zone lock. Kept for differential testing and as the
+	// benchmark baseline; see write_legacy.go.
+	LegacyWritePath bool
 }
 
 // ParityMode selects the partial-parity crash-safety mechanism.
@@ -145,9 +151,18 @@ type logicalZone struct {
 	cond *vclock.Cond // waits: stripe buffer free, reset completion
 
 	state       zns.ZoneState
-	wp          int64 // zone-relative sectors submitted (logical fill)
+	wp          int64 // zone-relative sectors claimed by accepted writes
+	submittedWP int64 // zone-relative sectors whose sub-IOs are on the devices
 	persistedWP int64 // zone-relative sectors known durable
 	resetting   bool
+
+	// Write-submission tickets: every accepted write claims the next
+	// ticket (submitTail) while it claims its wp range, and performs its
+	// device-submit phase only when submitHead has reached the ticket
+	// before it — so device sub-IOs hit each physical zone in wp order
+	// even though parity/CRC computation runs outside the lock.
+	submitTail uint64 // tickets claimed
+	submitHead uint64 // tickets whose submit phase completed
 
 	free   []*stripeBuffer         // buffer pool
 	active map[int64]*stripeBuffer // stripe index -> buffer in use
@@ -207,8 +222,61 @@ type Volume struct {
 
 	maxOpen int
 
+	// devTable is an immutable snapshot of the device/metadata-manager
+	// slots, swapped atomically whenever v.devs/v.md/rebuild state change
+	// under v.mu. Hot-path lookups (dev, devForZone, mdm) load it once
+	// instead of taking v.mu per sub-IO.
+	devTable atomic.Pointer[devTable]
+
+	// Hot-path object pools (see write.go): per-write state including
+	// plan/parity/CRC slices and parity image buffers, and the persistUpTo
+	// device bitmap.
+	wsPool   sync.Pool
+	needPool sync.Pool
+
 	stats statsCounters
 }
+
+// devTable is the immutable device-slot snapshot published under v.mu.
+type devTable struct {
+	devs         []*zns.Device
+	md           []*mdManager
+	degraded     int
+	rebuilding   bool
+	rebuiltZones []bool
+}
+
+// zoneDev returns the device at slot i for IO against logical zone z.
+// During a rebuild, the replacement device is invisible for zones that
+// have not been re-synced yet: reads take the degraded path and writes
+// omit it (§4.2, "writes to non-rebuilt open zones are served in degraded
+// mode").
+func (t *devTable) zoneDev(i, z int) *zns.Device {
+	if t.rebuilding && i == t.degraded && t.rebuiltZones != nil && !t.rebuiltZones[z] {
+		return nil
+	}
+	return t.devs[i]
+}
+
+// publishDevTableLocked snapshots the mutable device state into a fresh
+// devTable for lock-free readers. Caller holds v.mu (or has exclusive
+// access during volume construction). The slices are copied: v.devs,
+// v.md and v.rebuiltZones remain the mutable masters.
+func (v *Volume) publishDevTableLocked() {
+	t := &devTable{
+		devs:       append([]*zns.Device(nil), v.devs...),
+		md:         append([]*mdManager(nil), v.md...),
+		degraded:   v.degraded,
+		rebuilding: v.rebuilding,
+	}
+	if v.rebuiltZones != nil {
+		t.rebuiltZones = append([]bool(nil), v.rebuiltZones...)
+	}
+	v.devTable.Store(t)
+}
+
+// loadDevs returns the current device-table snapshot.
+func (v *Volume) loadDevs() *devTable { return v.devTable.Load() }
 
 // deviceErrors accumulates health-relevant events for one device slot.
 type deviceErrors struct {
@@ -361,6 +429,7 @@ func newVolume(clk *vclock.Clock, devs []*zns.Device, cfg Config) (*Volume, erro
 	for z := range v.zones {
 		v.zones[z] = v.newLogicalZone(z)
 	}
+	v.publishDevTableLocked()
 	return v, nil
 }
 
@@ -429,7 +498,7 @@ func (v *Volume) Zone(z int) ZoneDesc {
 	return ZoneDesc{
 		Index:       z,
 		State:       lz.state,
-		WP:          v.lt.zoneStart(z) + lz.wp,
+		WP:          v.lt.zoneStart(z) + lz.submittedWP,
 		PersistedWP: v.lt.zoneStart(z) + lz.persistedWP,
 		Remapped:    lz.remapped,
 	}
@@ -488,6 +557,7 @@ func (v *Volume) failDeviceLocked(i int) error {
 	}
 	v.devs[i] = nil
 	v.md[i] = nil
+	v.publishDevTableLocked()
 	return nil
 }
 
@@ -505,25 +575,21 @@ func (v *Volume) noteDeviceError(dev int, err error) {
 	}
 }
 
-// dev returns the device at slot i, or nil if failed.
+// dev returns the device at slot i, or nil if failed. Lock-free: reads
+// the published device-table snapshot.
 func (v *Volume) dev(i int) *zns.Device {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.devs[i]
+	return v.loadDevs().devs[i]
 }
 
-// devForZone returns the device at slot i for IO against logical zone z.
-// During a rebuild, the replacement device is invisible for zones that
-// have not been re-synced yet: reads take the degraded path and writes
-// omit it (§4.2, "writes to non-rebuilt open zones are served in degraded
-// mode").
+// devForZone returns the device at slot i for IO against logical zone z;
+// see devTable.zoneDev. Lock-free.
 func (v *Volume) devForZone(i, z int) *zns.Device {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if v.rebuilding && i == v.degraded && v.rebuiltZones != nil && !v.rebuiltZones[z] {
-		return nil
-	}
-	return v.devs[i]
+	return v.loadDevs().zoneDev(i, z)
+}
+
+// mdm returns the metadata manager of device i, or nil. Lock-free.
+func (v *Volume) mdm(i int) *mdManager {
+	return v.loadDevs().md[i]
 }
 
 // Unmount flushes all devices. The volume object must not be used

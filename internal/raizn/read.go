@@ -78,7 +78,10 @@ func (v *Volume) awaitReads(futs []subIO) error {
 func (v *Volume) readZonePortion(z int, pos int64, out []byte, futs *[]subIO) error {
 	lz := v.zones[z]
 	lz.mu.Lock()
-	wp := lz.wp
+	// Read against the submitted write pointer: sectors a concurrent
+	// write has claimed but not yet submitted to the devices are not
+	// readable (their payload may still be mid-pipeline).
+	wp := lz.submittedWP
 	state := lz.state
 	lz.mu.Unlock()
 

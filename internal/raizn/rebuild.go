@@ -54,6 +54,7 @@ func (v *Volume) ReplaceDevice(newDev *zns.Device) (RebuildStats, error) {
 	v.rebuilding = true
 	v.rebuiltZones = make([]bool, v.lt.numZones)
 	v.devs[slot] = newDev
+	v.publishDevTableLocked()
 	v.mu.Unlock()
 
 	// Re-create the replacement's metadata: superblock + current
@@ -68,6 +69,7 @@ func (v *Volume) ReplaceDevice(newDev *zns.Device) (RebuildStats, error) {
 	}
 	v.mu.Lock()
 	v.md[slot] = m
+	v.publishDevTableLocked()
 	v.mu.Unlock()
 
 	// Rebuild zone by zone, active zones first (§4.2).
@@ -99,6 +101,7 @@ func (v *Volume) ReplaceDevice(newDev *zns.Device) (RebuildStats, error) {
 	v.degraded = -1
 	v.rebuilding = false
 	v.rebuiltZones = nil
+	v.publishDevTableLocked()
 	v.mu.Unlock()
 
 	if err := newDev.Flush().Wait(); err != nil {
@@ -114,6 +117,7 @@ func (v *Volume) abortRebuild(slot int, err error) error {
 	v.rebuiltZones = nil
 	v.devs[slot] = nil
 	v.md[slot] = nil
+	v.publishDevTableLocked()
 	v.mu.Unlock()
 	return err
 }
@@ -129,6 +133,9 @@ func (v *Volume) rebuildZone(z, slot int, newDev *zns.Device) (int64, error) {
 		lz.cond.Wait()
 	}
 	lz.resetting = true
+	// Wait out in-flight writes so the stripe buffers and survivor media
+	// reflect everything below wp before reconstruction reads them.
+	v.drainSubmitsLocked(lz)
 	wp := lz.wp
 	state := lz.state
 	lz.mu.Unlock()
@@ -214,6 +221,7 @@ func (v *Volume) rebuildZone(z, slot int, newDev *zns.Device) (int64, error) {
 	v.mu.Lock()
 	if v.rebuiltZones != nil {
 		v.rebuiltZones[z] = true
+		v.publishDevTableLocked()
 	}
 	v.mu.Unlock()
 	return written, nil

@@ -312,7 +312,7 @@ func (v *Volume) recoverZone(z int, ppLogs []record) (genDirty bool, err error) 
 		// Paper §4.3: empty zones get their generation bumped on mount,
 		// invalidating any straggler metadata for the old incarnation.
 		lz.state = zns.ZoneEmpty
-		lz.wp, lz.persistedWP = 0, 0
+		lz.wp, lz.submittedWP, lz.persistedWP = 0, 0, 0
 		v.gen[z]++
 		v.dropRelocEntries(z)
 		return true, nil
@@ -396,6 +396,7 @@ func (v *Volume) recoverZone(z int, ppLogs []record) (genDirty bool, err error) 
 	v.relocMu.Unlock()
 
 	lz.wp = wp
+	lz.submittedWP = wp
 	lz.persistedWP = wp // post-crash, everything on media is durable
 	lz.remapped = remapped
 	switch {
@@ -701,7 +702,7 @@ func (v *Volume) rebuildStripeBuffer(lz *logicalZone, s int64, fill int64, ppLog
 	z := lz.idx
 	ss := int64(v.sectorSize)
 	su := v.lt.su
-	buf, err := v.stripeBufferLocked(lz, s) // single-threaded during mount
+	buf, err := v.stripeBufferLocked(lz, s, 0) // single-threaded during mount
 	if err != nil {
 		return err
 	}

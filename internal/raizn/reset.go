@@ -27,6 +27,9 @@ func (v *Volume) ResetZone(z int) error {
 		return nil
 	}
 	lz.resetting = true
+	// In-flight writes already claimed their range; wait for their device
+	// submissions so the physical zones are quiescent before resetting.
+	v.drainSubmitsLocked(lz)
 	lz.mu.Unlock()
 
 	err := v.doResetZone(lz)
@@ -108,6 +111,7 @@ func (v *Volume) doResetZone(lz *logicalZone) error {
 	}
 	lz.state = zns.ZoneEmpty
 	lz.wp = 0
+	lz.submittedWP = 0
 	lz.persistedWP = 0
 	lz.remapped = false
 	for s, b := range lz.active {
@@ -180,6 +184,9 @@ func (v *Volume) FinishZone(z int) error {
 		lz.mu.Unlock()
 		return nil
 	}
+	// Quiesce in-flight writes so the tail stripe buffer and physical
+	// write pointers are final before sealing.
+	v.drainSubmitsLocked(lz)
 
 	var futs []subIO
 	var pending []pendingMD
@@ -209,7 +216,7 @@ func (v *Volume) FinishZone(z int) error {
 	persisted := lz.wp
 	lz.mu.Unlock()
 
-	futs = append(futs, v.issuePendingMD(pending)...)
+	futs = v.issuePendingMD(pending, futs)
 	if err := v.awaitSubIOs(futs); err != nil {
 		return err
 	}

@@ -98,7 +98,7 @@ func (v *Volume) ScrubStripe(z int, s int64, repair bool) (StripeScrubResult, er
 	gen0 := v.Generation(z)
 	lz := v.zones[z]
 	lz.mu.Lock()
-	stable := !lz.resetting && (s+1)*v.lt.stripeSectors() <= lz.wp
+	stable := !lz.resetting && (s+1)*v.lt.stripeSectors() <= lz.submittedWP
 	lz.mu.Unlock()
 	if !stable {
 		return skip()
@@ -350,5 +350,5 @@ func (v *Volume) relocateRepairedUnit(z int, s int64, u int, data []byte) error 
 		lba = v.lt.stripeStart(z, s) + int64(u)*v.lt.su
 	}
 	p := v.relocationRecord(dev, data, lba, isParity, z, s)
-	return v.awaitSubIOs(v.issuePendingMD([]pendingMD{p}))
+	return v.awaitSubIOs(v.issuePendingMD([]pendingMD{p}, nil))
 }

@@ -15,6 +15,9 @@ type Stats struct {
 	MetadataGCs       int64 // metadata zone roll-overs
 	DegradedReads     int64 // stripe-unit pieces served by reconstruction
 
+	CoalescedSubWrites int64 // sub-IOs merged into a preceding device write
+	// (a vectored command carrying k sub-IOs adds k-1)
+
 	ChecksumRecords     int64 // stripe-checksum metadata records written
 	ReadErrorRepairs    int64 // foreground reads recovered via reconstruction
 	ScrubbedStripes     int64 // stripes fully verified by scrub
@@ -36,6 +39,8 @@ type statsCounters struct {
 	zoneResets        atomic.Int64
 	metadataGCs       atomic.Int64
 	degradedReads     atomic.Int64
+
+	coalescedSubWrites atomic.Int64
 
 	checksumRecords     atomic.Int64
 	readErrorRepairs    atomic.Int64
@@ -59,6 +64,8 @@ func (v *Volume) Stats() Stats {
 		ZoneResets:        v.stats.zoneResets.Load(),
 		MetadataGCs:       v.stats.metadataGCs.Load(),
 		DegradedReads:     v.stats.degradedReads.Load(),
+
+		CoalescedSubWrites: v.stats.coalescedSubWrites.Load(),
 
 		ChecksumRecords:     v.stats.checksumRecords.Load(),
 		ReadErrorRepairs:    v.stats.readErrorRepairs.Load(),

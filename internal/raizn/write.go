@@ -2,6 +2,7 @@ package raizn
 
 import (
 	"errors"
+	"hash/crc32"
 
 	"raizn/internal/parity"
 	"raizn/internal/vclock"
@@ -22,11 +23,21 @@ import (
 //   - FUA / Preflush: additionally, the write and all preceding data in
 //     the same logical zone are power-loss durable (§5.3).
 //
-// Lock discipline: device sub-IOs are issued under the zone lock (they
-// must hit each physical zone in write-pointer order); metadata appends
-// (partial parity, relocations) are prepared under the lock but issued
-// after it is released, because metadata GC takes zone locks while
-// checkpointing.
+// The hot path runs in three phases (see DESIGN.md, "write-path lock
+// discipline"):
+//
+//  1. plan (under lz.mu): validate, claim the range and a submission
+//     ticket, copy partial-stripe payloads into stripe buffers, and
+//     record every device sub-IO as a plan entry;
+//  2. compute (no locks): parity XOR, partial-parity images and CRC32-C
+//     rows over the now-immutable snapshot;
+//  3. submit (under lz.mu, in ticket order): coalesce physically
+//     adjacent plan entries per device into single (vectored) write
+//     commands and issue them, then publish the submitted write pointer.
+//
+// Metadata appends (partial parity, relocations, checksums) are prepared
+// in the phases but issued after lz.mu is released, because metadata GC
+// takes zone locks while checkpointing.
 func (v *Volume) SubmitWrite(lba int64, data []byte, flags zns.Flag) *vclock.Future {
 	if len(data) == 0 || len(data)%v.sectorSize != 0 {
 		return v.clk.Completed(ErrUnaligned)
@@ -64,23 +75,63 @@ func (v *Volume) SubmitWrite(lba int64, data []byte, flags zns.Flag) *vclock.Fut
 		}
 	}
 	lz.wp = off + nSectors
-	full := lz.wp == v.lt.zoneSectors()
+	// runWrite unlocks lz.mu.
+	return v.runWrite(lz, off, data, flags)
+}
+
+// runWrite carries a validated, range-claimed write through issue and
+// completion. Caller holds lz.mu (with lz.wp already advanced); runWrite
+// releases it.
+func (v *Volume) runWrite(lz *logicalZone, off int64, data []byte, flags zns.Flag) *vclock.Future {
+	end := off + int64(len(data))/int64(v.sectorSize)
+	full := end == v.lt.zoneSectors()
 	v.stats.logicalWriteBytes.Add(int64(len(data)))
 
-	futs, pending, err := v.issueWriteLocked(lz, off, data, flags)
-	if full && err == nil {
-		v.closeZoneSlot(lz, zns.ZoneFull)
+	if v.cfg.LegacyWritePath {
+		return v.runWriteLegacy(lz, off, end, full, data, flags)
 	}
+
+	ws := v.getWriteState()
+	ws.z = lz.idx
+	ws.flags = flags
+	ws.end = end
+	ws.full = full
+
+	// Claim the submission ticket at range-claim time: submit-phase order
+	// must equal write-pointer order or device writes would arrive out of
+	// sequence. A failed plan still runs its (possibly empty) submit
+	// phase so the ticket line keeps moving.
+	lz.submitTail++
+	ws.ticket = lz.submitTail
+
+	planErr := v.planWriteLocked(ws, lz, off, data)
 	lz.mu.Unlock()
-	if err != nil {
-		return v.clk.Completed(err)
+
+	v.computeWrite(ws)
+
+	lz.mu.Lock()
+	for lz.submitHead != ws.ticket-1 {
+		lz.cond.Wait()
 	}
-	futs = append(futs, v.issuePendingMD(pending)...)
+	v.submitWriteLocked(ws, lz, planErr == nil)
+	lz.mu.Unlock()
+
+	ws.futs = v.issuePendingMD(ws.pending, ws.futs)
+
+	if planErr != nil {
+		// Mirror the legacy path: sub-IOs already issued are left to
+		// complete on their own; the caller sees the plan error.
+		ws := ws
+		v.clk.Go(func() {
+			_ = v.awaitSubIOs(ws.futs)
+			v.putWriteState(ws)
+		})
+		return v.clk.Completed(planErr)
+	}
 
 	result := v.clk.NewFuture()
-	end := off + nSectors
 	v.clk.Go(func() {
-		if err := v.awaitSubIOs(futs); err != nil {
+		if err := v.awaitSubIOs(ws.futs); err != nil {
 			// A sub-IO failure that is not a tolerated device death
 			// leaves the logical write pointer ahead of what the host
 			// believes was written; fail stop rather than serve an
@@ -88,9 +139,11 @@ func (v *Volume) SubmitWrite(lba int64, data []byte, flags zns.Flag) *vclock.Fut
 			v.mu.Lock()
 			v.readOnly = true
 			v.mu.Unlock()
+			v.putWriteState(ws)
 			result.Complete(err)
 			return
 		}
+		v.putWriteState(ws)
 		if flags&(zns.FUA|zns.Preflush) != 0 {
 			if err := v.persistUpTo(lz, end); err != nil {
 				result.Complete(err)
@@ -100,6 +153,452 @@ func (v *Volume) SubmitWrite(lba int64, data []byte, flags zns.Flag) *vclock.Fut
 		result.Complete(nil)
 	})
 	return result
+}
+
+// plannedIO is one device sub-write prepared during the plan phase and
+// issued, possibly merged with its neighbors, during the submit phase.
+type plannedIO struct {
+	dev      int
+	pba      int64  // absolute device sector
+	lba      int64  // logical start, for relocation records (data entries)
+	data     []byte // payload; parity entries are filled by the compute phase
+	isParity bool
+	s        int64 // zone-relative stripe
+	zrwa     bool  // in-place parity update through the ZRWA; never merged
+}
+
+// parityTask is one parity image the compute phase must produce.
+type parityTask struct {
+	planIdx  int           // plan entry receiving the image
+	s        int64         // stripe
+	buf      *stripeBuffer // source buffer; nil when src holds the full stripe
+	src      []byte        // caller data covering the whole stripe (buf == nil)
+	fill     int64         // stripe data fill the image covers
+	complete bool          // stripe completed: also CRC the units, recycle buf
+}
+
+// ppTask is one partial-parity log record the compute phase must build.
+type ppTask struct {
+	s    int64
+	buf  *stripeBuffer
+	fill int64 // buffer fill snapshot
+	a, b int64 // zone-relative stripe offsets this write covered
+}
+
+// writeState carries one logical write through its phases. States are
+// pooled per volume; every slice is reused across writes.
+type writeState struct {
+	z      int
+	flags  zns.Flag
+	end    int64
+	full   bool
+	ticket uint64
+
+	plan    []plannedIO
+	parity  []parityTask
+	pp      []ppTask
+	futs    []subIO
+	pending []pendingMD
+	images  [][]byte // parity image backing buffers, reused in place
+	crcs    []uint32 // completed-stripe CRC rows, stride csSlots()
+	crcS    []int64  // stripe index per CRC row
+	segs    [][]byte // submit-phase gather scratch
+}
+
+func (v *Volume) getWriteState() *writeState {
+	if x := v.wsPool.Get(); x != nil {
+		ws := x.(*writeState)
+		ws.plan = ws.plan[:0]
+		ws.parity = ws.parity[:0]
+		ws.pp = ws.pp[:0]
+		ws.futs = ws.futs[:0]
+		ws.pending = ws.pending[:0]
+		ws.crcs = ws.crcs[:0]
+		ws.crcS = ws.crcS[:0]
+		ws.segs = ws.segs[:0]
+		return ws
+	}
+	return &writeState{}
+}
+
+func (v *Volume) putWriteState(ws *writeState) {
+	// Drop payload references so pooled states don't pin caller buffers.
+	for i := range ws.plan {
+		ws.plan[i].data = nil
+	}
+	for i := range ws.parity {
+		ws.parity[i].buf, ws.parity[i].src = nil, nil
+	}
+	for i := range ws.pp {
+		ws.pp[i].buf = nil
+	}
+	for i := range ws.futs {
+		ws.futs[i] = subIO{}
+	}
+	for i := range ws.pending {
+		ws.pending[i] = pendingMD{}
+	}
+	for i := range ws.segs {
+		ws.segs[i] = nil
+	}
+	v.wsPool.Put(ws)
+}
+
+// image returns the i-th parity image buffer of the state, sized to
+// size bytes, reusing the backing array across writes.
+func (ws *writeState) image(i, size int) []byte {
+	for len(ws.images) <= i {
+		ws.images = append(ws.images, nil)
+	}
+	if cap(ws.images[i]) < size {
+		ws.images[i] = make([]byte, size)
+	}
+	return ws.images[i][:size]
+}
+
+// planWriteLocked (phase 1) splits [off, off+len) of zone lz into
+// per-stripe work: copy partial-stripe payloads into stripe buffers and
+// record every device sub-IO, parity image and partial-parity log the
+// write needs. Caller holds lz.mu.
+//
+// Full-stripe chunks bypass the stripe buffers: their parity and CRCs
+// are computed straight from the caller's data, which remains valid
+// until the submit phase finishes (all phases run inside SubmitWrite).
+// Only head/tail partial stripes occupy a buffer, so a single write can
+// never exhaust the buffer pool against itself.
+func (v *Volume) planWriteLocked(ws *writeState, lz *logicalZone, off int64, data []byte) error {
+	ss := int64(v.sectorSize)
+	stripeSec := v.lt.stripeSectors()
+	z := lz.idx
+
+	for len(data) > 0 {
+		s := off / stripeSec
+		inStripe := off % stripeSec
+		n := stripeSec - inStripe
+		if avail := int64(len(data)) / ss; n > avail {
+			n = avail
+		}
+		chunk := data[:n*ss]
+
+		_, buffered := lz.active[s]
+		var buf *stripeBuffer
+		if n != stripeSec || buffered {
+			var err error
+			buf, err = v.stripeBufferLocked(lz, s, inStripe)
+			if err != nil {
+				return err
+			}
+			copy(buf.data[inStripe*ss:], chunk)
+			buf.fill = inStripe + n
+		}
+
+		v.planDataLocked(ws, z, s, inStripe, chunk)
+
+		pDev := v.lt.parityDev(z, s)
+		pPBA := v.lt.parityPBA(z, s)
+		switch {
+		case buf == nil || buf.fill == stripeSec:
+			// Stripe complete: one full parity unit plus the CRC row.
+			// (In ZRWA mode the unit goes in place through the random
+			// write area and is counted as such at submit.)
+			if v.cfg.ParityMode != PPZRWA {
+				v.stats.fullParityWrites.Add(1)
+			}
+			ws.plan = append(ws.plan, plannedIO{
+				dev: pDev, pba: pPBA, isParity: true, s: s,
+				zrwa: v.cfg.ParityMode == PPZRWA,
+			})
+			var src []byte
+			if buf == nil {
+				src = chunk
+			}
+			ws.parity = append(ws.parity, parityTask{
+				planIdx: len(ws.plan) - 1, s: s, buf: buf, src: src,
+				fill: stripeSec, complete: true,
+			})
+		case v.cfg.ParityMode == PPZRWA:
+			// Stripe still partial: update the parity prefix in place
+			// through the random write area (§5.4).
+			ws.plan = append(ws.plan, plannedIO{
+				dev: pDev, pba: pPBA, isParity: true, s: s, zrwa: true,
+			})
+			ws.parity = append(ws.parity, parityTask{
+				planIdx: len(ws.plan) - 1, s: s, buf: buf, fill: buf.fill,
+			})
+		default:
+			// Stripe still partial: log partial parity for the region
+			// this write affected (§5.1). The log goes to the device
+			// that will eventually hold the stripe's parity (Table 1);
+			// if that device is dead the data units carry the write.
+			if v.mdm(pDev) != nil {
+				v.stats.partialParityLogs.Add(1)
+				ws.pp = append(ws.pp, ppTask{
+					s: s, buf: buf, fill: buf.fill, a: inStripe, b: inStripe + n,
+				})
+			}
+		}
+
+		off += n
+		data = data[n*ss:]
+	}
+	return nil
+}
+
+// planDataLocked records the data sub-IOs covering zone-relative stripe
+// offsets [inStripe, inStripe+len) of stripe s, one per touched stripe
+// unit.
+func (v *Volume) planDataLocked(ws *writeState, z int, s, inStripe int64, chunk []byte) {
+	ss := int64(v.sectorSize)
+	for len(chunk) > 0 {
+		u := int(inStripe / v.lt.su)
+		intra := inStripe % v.lt.su
+		n := v.lt.su - intra
+		if avail := int64(len(chunk)) / ss; n > avail {
+			n = avail
+		}
+		ws.plan = append(ws.plan, plannedIO{
+			dev:  v.lt.dataDev(z, s, u),
+			pba:  int64(z)*v.lt.physZoneSize + s*v.lt.su + intra,
+			lba:  v.lt.zoneStart(z) + s*v.lt.stripeSectors() + inStripe,
+			data: chunk[:n*ss],
+			s:    s,
+		})
+		chunk = chunk[n*ss:]
+		inStripe += n
+	}
+}
+
+// computeWrite (phase 2) produces every parity image, partial-parity
+// payload and CRC row the plan needs. It runs with no locks held: the
+// stripe-buffer bytes it reads were written under lz.mu before the plan
+// phase released it (our own copies, or a predecessor's — ordered by the
+// buffer hand-off in stripeBufferLocked), and concurrent writers only
+// touch disjoint byte ranges above our fill snapshots.
+func (v *Volume) computeWrite(ws *writeState) {
+	ss := int64(v.sectorSize)
+	su := v.lt.su
+	suBytes := su * ss
+	gen := v.Generation(ws.z)
+	csDev := v.checksumDev(ws.z)
+	nSlots := v.csSlots()
+
+	for i := range ws.parity {
+		t := &ws.parity[i]
+		plen := su
+		if !t.complete && t.fill < su {
+			plen = t.fill
+		}
+		out := ws.image(i, int(plen*ss))
+		if t.buf != nil {
+			v.parityInto(t.buf.data, t.fill, 0, plen, out)
+		} else {
+			copy(out, t.src[:plen*ss])
+			for u := 1; u < v.lt.d; u++ {
+				parity.XORInto(out, t.src[int64(u)*suBytes:int64(u)*suBytes+plen*ss])
+			}
+		}
+		ws.plan[t.planIdx].data = out
+
+		if !t.complete {
+			continue
+		}
+		// CRC row of the completed stripe: D data units + the parity
+		// image just computed (shared — parity is XORed exactly once).
+		base := len(ws.crcs)
+		for u := 0; u < v.lt.d; u++ {
+			var unit []byte
+			if t.buf != nil {
+				unit = t.buf.data[int64(u)*suBytes : int64(u+1)*suBytes]
+			} else {
+				unit = t.src[int64(u)*suBytes : int64(u+1)*suBytes]
+			}
+			ws.crcs = append(ws.crcs, crc32.Checksum(unit, crcTable))
+		}
+		ws.crcs = append(ws.crcs, crc32.Checksum(out, crcTable))
+		ws.crcS = append(ws.crcS, t.s)
+		v.stats.checksumRecords.Add(1)
+		if v.mdm(csDev) != nil {
+			ws.pending = append(ws.pending, pendingMD{
+				dev: csDev,
+				rec: &record{
+					typ:    recChecksums,
+					gen:    gen,
+					inline: encodeChecksums(ws.z, t.s, ws.crcs[base:base+nSlots]),
+				},
+			})
+		}
+	}
+
+	for _, t := range ws.pp {
+		regions := v.lt.intraRegions(t.a, t.b)
+		var total int64
+		for _, r := range regions {
+			total += r.b - r.a
+		}
+		payload := make([]byte, total*ss)
+		pos := int64(0)
+		for _, r := range regions {
+			v.parityInto(t.buf.data, t.fill, r.a, r.b, payload[pos*ss:(pos+r.b-r.a)*ss])
+			pos += r.b - r.a
+		}
+		ws.pending = append(ws.pending, pendingMD{
+			dev: v.lt.parityDev(ws.z, t.s),
+			rec: &record{
+				typ:      recPartialParity,
+				startLBA: v.lt.stripeStart(ws.z, t.s) + t.a,
+				endLBA:   v.lt.stripeStart(ws.z, t.s) + t.b,
+				gen:      gen,
+				payload:  payload,
+			},
+			useMeta: v.cfg.ParityMode == PPInlineMeta,
+			z:       ws.z,
+			s:       t.s,
+		})
+	}
+}
+
+// parityInto XORs the parity of intra-unit offsets [a, b) of a stripe
+// with `fill` data sectors present into out (zeroed first). Unwritten
+// unit tails contribute zeroes.
+func (v *Volume) parityInto(data []byte, fill, a, b int64, out []byte) {
+	for i := range out {
+		out[i] = 0
+	}
+	ss := int64(v.sectorSize)
+	for u := 0; u < v.lt.d; u++ {
+		hi := fill - int64(u)*v.lt.su
+		if hi > v.lt.su {
+			hi = v.lt.su
+		}
+		if hi <= a {
+			continue
+		}
+		if hi > b {
+			hi = b
+		}
+		base := int64(u) * v.lt.su * ss
+		src := data[base+a*ss : base+hi*ss]
+		parity.XORInto(out[:len(src)], src)
+	}
+}
+
+// submitWriteLocked (phase 3) issues the plan in ticket order: plan
+// entries to the same device at physically adjacent addresses merge into
+// one vectored write command, burned address ranges split off into
+// relocation records (§5.2), and the submitted write pointer advances.
+// Caller holds lz.mu and has waited for its ticket.
+func (v *Volume) submitWriteLocked(ws *writeState, lz *logicalZone, ok bool) {
+	tbl := v.loadDevs()
+	z := lz.idx
+	ss := int64(v.sectorSize)
+
+	for dev := 0; dev < v.lt.n; dev++ {
+		d := tbl.zoneDev(dev, z)
+		if d == nil {
+			continue // failed/not-yet-rebuilt: degraded write omits it
+		}
+		wpKnown := false
+		var devWP int64
+		segs := ws.segs[:0]
+		var runStart, runNext int64
+		for i := range ws.plan {
+			e := &ws.plan[i]
+			if e.dev != dev {
+				continue
+			}
+			data := e.data
+			pba, lba := e.pba, e.lba
+			if !e.zrwa {
+				if !wpKnown {
+					devWP = d.Zone(int(pba / v.lt.physZoneSize)).WP
+					wpKnown = true
+				}
+				if pba < devWP {
+					// Burned prefix: relocate [pba, min(wp, pba+n)).
+					burn := minI64(devWP-pba, int64(len(data))/ss)
+					ws.pending = append(ws.pending,
+						v.relocationRecord(dev, data[:burn*ss], lba, e.isParity, z, e.s))
+					data = data[burn*ss:]
+					pba += burn
+					if len(data) == 0 {
+						continue
+					}
+				}
+			}
+			if e.zrwa {
+				// In-place parity prefix updates are ordered but never
+				// merged; flush the pending run first so per-device
+				// submission order matches plan order.
+				segs = v.flushRun(ws, d, dev, runStart, segs)
+				v.stats.zrwaParityWrites.Add(1)
+				ws.futs = append(ws.futs, subIO{dev: dev, fut: d.WriteZRWA(pba, data, ws.flags)})
+				continue
+			}
+			if len(segs) > 0 && pba == runNext {
+				segs = append(segs, data)
+				runNext += int64(len(data)) / ss
+			} else {
+				segs = v.flushRun(ws, d, dev, runStart, segs)
+				runStart, runNext = pba, pba+int64(len(data))/ss
+				segs = append(segs, data)
+			}
+		}
+		ws.segs = v.flushRun(ws, d, dev, runStart, segs)
+	}
+
+	// Publish the CRC rows now that the stripe payloads are applied on
+	// the devices (writes take effect at submit).
+	nSlots := v.csSlots()
+	for i, s := range ws.crcS {
+		v.setStripeChecksums(z, s, ws.crcs[i*nSlots:(i+1)*nSlots])
+	}
+
+	// Recycle buffers of completed stripes. They stayed in lz.active
+	// until now so concurrent degraded reads could be served from memory
+	// while the stripe's media writes were still pending.
+	for i := range ws.parity {
+		t := &ws.parity[i]
+		if t.complete && t.buf != nil {
+			delete(lz.active, t.s)
+			t.buf.stripe = -1
+			t.buf.fill = 0
+			lz.free = append(lz.free, t.buf)
+		}
+	}
+
+	if lz.submittedWP < ws.end {
+		lz.submittedWP = ws.end
+	}
+	if ws.full && ok {
+		v.closeZoneSlot(lz, zns.ZoneFull)
+	}
+	lz.submitHead++
+	lz.cond.Broadcast()
+}
+
+// flushRun issues the accumulated run as one device command (vectored
+// when it merged more than one sub-IO) and returns the reset scratch.
+func (v *Volume) flushRun(ws *writeState, d *zns.Device, dev int, start int64, segs [][]byte) [][]byte {
+	switch len(segs) {
+	case 0:
+		return segs
+	case 1:
+		ws.futs = append(ws.futs, subIO{dev: dev, fut: d.Write(start, segs[0], ws.flags)})
+	default:
+		v.stats.coalescedSubWrites.Add(int64(len(segs) - 1))
+		ws.futs = append(ws.futs, subIO{dev: dev, fut: d.Writev(start, segs, ws.flags)})
+	}
+	return segs[:0]
+}
+
+// drainSubmitsLocked waits until every claimed write ticket has finished
+// its submit phase, so the zone's media state matches lz.wp. Reset,
+// finish and rebuild take this barrier before touching physical zones.
+// Caller holds lz.mu.
+func (v *Volume) drainSubmitsLocked(lz *logicalZone) {
+	for lz.submitHead != lz.submitTail {
+		lz.cond.Wait()
+	}
 }
 
 // subIO pairs a completion future with the device it went to, so device
@@ -136,11 +635,17 @@ type pendingMD struct {
 	s        int64
 }
 
-// issuePendingMD performs the deferred metadata appends.
-func (v *Volume) issuePendingMD(pending []pendingMD) []subIO {
-	var futs []subIO
-	for _, p := range pending {
-		m := v.mdm(p.dev)
+// issuePendingMD performs the deferred metadata appends, appending their
+// completion futures to futs. The device table is loaded once for the
+// whole batch.
+func (v *Volume) issuePendingMD(pending []pendingMD, futs []subIO) []subIO {
+	if len(pending) == 0 {
+		return futs
+	}
+	tbl := v.loadDevs()
+	for i := range pending {
+		p := &pending[i]
+		m := tbl.md[p.dev]
 		if m == nil {
 			continue // device failed: degraded
 		}
@@ -169,13 +674,6 @@ func (v *Volume) issuePendingMD(pending []pendingMD) []subIO {
 		futs = append(futs, subIO{dev: p.dev, fut: fut})
 	}
 	return futs
-}
-
-// mdm returns the metadata manager of device i, or nil.
-func (v *Volume) mdm(i int) *mdManager {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.md[i]
 }
 
 // awaitSubIOs waits for all sub-IOs. A sub-IO that failed because its
@@ -225,111 +723,38 @@ func (v *Volume) closeZoneSlot(lz *logicalZone, to zns.ZoneState) {
 	v.mu.Unlock()
 }
 
-// issueWriteLocked splits [off, off+len) of zone lz into per-stripe work:
-// buffer the data, issue data sub-IOs, and either full parity (stripe
-// complete) or a partial-parity log record. Caller holds lz.mu.
-func (v *Volume) issueWriteLocked(lz *logicalZone, off int64, data []byte, flags zns.Flag) ([]subIO, []pendingMD, error) {
-	var futs []subIO
-	var pending []pendingMD
-	ss := int64(v.sectorSize)
-	stripeSec := v.lt.stripeSectors()
-
-	for len(data) > 0 {
-		s := off / stripeSec
-		inStripe := off % stripeSec
-		n := stripeSec - inStripe
-		if avail := int64(len(data)) / ss; n > avail {
-			n = avail
-		}
-		chunk := data[:n*ss]
-
-		buf, err := v.stripeBufferLocked(lz, s)
-		if err != nil {
-			return futs, pending, err
-		}
-		if buf.fill != inStripe {
-			return futs, pending, ErrInconsistent // buffer out of sync with zone WP
-		}
-		copy(buf.data[inStripe*ss:], chunk)
-		buf.fill = inStripe + n
-
-		// Data sub-IOs, one per touched stripe unit.
-		v.issueDataLocked(lz.idx, s, inStripe, chunk, flags, &futs, &pending)
-
-		if buf.fill == stripeSec {
-			// Stripe complete: write the full parity unit and recycle
-			// the buffer.
-			if v.cfg.ParityMode == PPZRWA {
-				v.issueZRWAParityLocked(lz, s, buf, flags, &futs)
-			} else {
-				v.issueParityLocked(lz, s, buf, flags, &futs, &pending)
+// stripeBufferLocked returns the buffer accumulating stripe s, whose fill
+// must reach expectFill before this writer may extend it. When the stripe
+// has no buffer yet: a writer starting the stripe (expectFill == 0)
+// claims one from the pool, blocking while the pool is empty (paper §5.1
+// notes this backpressure); a writer continuing a stripe waits for its
+// predecessor — which holds an earlier submission ticket and therefore
+// cannot be waiting on us — to claim and fill it. Caller holds lz.mu.
+func (v *Volume) stripeBufferLocked(lz *logicalZone, s int64, expectFill int64) (*stripeBuffer, error) {
+	for {
+		if b, ok := lz.active[s]; ok {
+			if b.fill != expectFill {
+				return nil, ErrInconsistent // buffer out of sync with zone WP
 			}
-			v.recordStripeChecksumsLocked(lz, s, buf, &pending)
-			delete(lz.active, s)
-			buf.stripe = -1
-			buf.fill = 0
-			lz.free = append(lz.free, buf)
-			lz.cond.Broadcast()
-		} else if v.cfg.ParityMode == PPZRWA {
-			// Stripe still partial: update the parity prefix in place
-			// through the random write area (§5.4).
-			v.issueZRWAParityLocked(lz, s, buf, flags, &futs)
-		} else {
-			// Stripe still partial: log partial parity for the region
-			// this write affected (§5.1).
-			if p := v.partialParityLocked(lz, s, buf, inStripe, inStripe+n, flags); p != nil {
-				pending = append(pending, *p)
-			}
+			return b, nil
 		}
-
-		off += n
-		data = data[n*ss:]
-	}
-	return futs, pending, nil
-}
-
-// stripeBufferLocked returns the buffer accumulating stripe s, allocating
-// from the pool (and blocking while the pool is empty — paper §5.1 notes
-// this backpressure). Caller holds lz.mu.
-func (v *Volume) stripeBufferLocked(lz *logicalZone, s int64) (*stripeBuffer, error) {
-	if b, ok := lz.active[s]; ok {
-		return b, nil
-	}
-	for len(lz.free) == 0 {
+		if expectFill == 0 && len(lz.free) > 0 {
+			b := lz.free[len(lz.free)-1]
+			lz.free = lz.free[:len(lz.free)-1]
+			b.stripe = s
+			b.fill = 0
+			lz.active[s] = b
+			return b, nil
+		}
 		lz.cond.Wait()
-	}
-	b := lz.free[len(lz.free)-1]
-	lz.free = lz.free[:len(lz.free)-1]
-	b.stripe = s
-	b.fill = 0
-	lz.active[s] = b
-	return b, nil
-}
-
-// issueDataLocked writes the data chunk covering zone-relative stripe
-// offsets [inStripe, inStripe+len) of stripe s to the owning devices.
-func (v *Volume) issueDataLocked(z int, s, inStripe int64, chunk []byte, flags zns.Flag, futs *[]subIO, pending *[]pendingMD) {
-	ss := int64(v.sectorSize)
-	for len(chunk) > 0 {
-		u := int(inStripe / v.lt.su)
-		intra := inStripe % v.lt.su
-		n := v.lt.su - intra
-		if avail := int64(len(chunk)) / ss; n > avail {
-			n = avail
-		}
-		dev := v.lt.dataDev(z, s, u)
-		pba := int64(z)*v.lt.physZoneSize + s*v.lt.su + intra
-		lbaStart := v.lt.zoneStart(z) + s*v.lt.stripeSectors() + inStripe
-		v.issueDeviceWrite(dev, pba, chunk[:n*ss], flags, lbaStart, false, z, s, futs, pending)
-		chunk = chunk[n*ss:]
-		inStripe += n
 	}
 }
 
 // issueDeviceWrite sends one device write, transparently relocating (all
 // or part of) it to the device's metadata zone when the target PBA range
 // was burned by a crash (below the physical write pointer and thus
-// immutable, §5.2). Failed devices are skipped (degraded write).
+// immutable, §5.2). Failed devices are skipped (degraded write). Used by
+// the legacy write path and the zone-seal path in FinishZone.
 func (v *Volume) issueDeviceWrite(dev int, pba int64, data []byte, flags zns.Flag, lba int64, isParity bool, z int, s int64, futs *[]subIO, pending *[]pendingMD) {
 	d := v.devForZone(dev, z)
 	if d == nil {
@@ -382,71 +807,20 @@ func (v *Volume) relocationRecord(dev int, data []byte, lba int64, isParity bool
 	}
 }
 
-// issueParityLocked computes and writes the full parity unit of a
-// completed stripe from its buffer.
-func (v *Volume) issueParityLocked(lz *logicalZone, s int64, buf *stripeBuffer, flags zns.Flag, futs *[]subIO, pending *[]pendingMD) {
-	ss := int64(v.sectorSize)
-	suBytes := v.lt.su * ss
-	units := make([][]byte, v.lt.d)
-	for u := range units {
-		units[u] = buf.data[int64(u)*suBytes : int64(u+1)*suBytes]
-	}
-	p := parity.Encode(units...)
-	dev := v.lt.parityDev(lz.idx, s)
-	v.stats.fullParityWrites.Add(1)
-	v.issueDeviceWrite(dev, v.lt.parityPBA(lz.idx, s), p, flags, 0, true, lz.idx, s, futs, pending)
-}
-
-// partialParityLocked builds the partial-parity log record for a write
-// covering zone-relative stripe offsets [a, b) of the (still partial)
-// stripe s. The log goes to the partial-parity metadata zone of the
-// device that will eventually hold the stripe's parity (Table 1). Caller
-// holds lz.mu; the append itself happens later.
-func (v *Volume) partialParityLocked(lz *logicalZone, s int64, buf *stripeBuffer, a, b int64, flags zns.Flag) *pendingMD {
-	dev := v.lt.parityDev(lz.idx, s)
-	if v.mdm(dev) == nil {
-		return nil // parity device failed: data units carry the write
-	}
-	regions := v.lt.intraRegions(a, b)
-	payload := v.parityImageLocked(buf, regions)
-	v.stats.partialParityLogs.Add(1)
-	return &pendingMD{
-		dev: dev,
-		rec: &record{
-			typ:      recPartialParity,
-			startLBA: v.lt.stripeStart(lz.idx, s) + a,
-			endLBA:   v.lt.stripeStart(lz.idx, s) + b,
-			gen:      v.Generation(lz.idx),
-			payload:  payload,
-		},
-		useMeta: v.cfg.ParityMode == PPInlineMeta,
-		z:       lz.idx,
-		s:       s,
-	}
-}
-
 // parityImageLocked computes the stripe's current parity bytes over the
-// given intra-unit regions, treating unwritten unit tails as zeroes.
+// given intra-unit regions into a single allocation, treating unwritten
+// unit tails as zeroes. Caller holds lz.mu (it reads the live buffer).
 func (v *Volume) parityImageLocked(buf *stripeBuffer, regions []intraInterval) []byte {
 	ss := int64(v.sectorSize)
-	fills := v.lt.unitFills(buf.fill)
-	var out []byte
+	var total int64
 	for _, reg := range regions {
-		img := make([]byte, (reg.b-reg.a)*ss)
-		for u := 0; u < v.lt.d; u++ {
-			// Unit u contributes bytes for intra offsets < fills[u].
-			hi := fills[u]
-			if hi <= reg.a {
-				continue
-			}
-			if hi > reg.b {
-				hi = reg.b
-			}
-			unitBase := int64(u) * v.lt.su * ss
-			src := buf.data[unitBase+reg.a*ss : unitBase+hi*ss]
-			parity.XORInto(img[:len(src)], src)
-		}
-		out = append(out, img...)
+		total += reg.b - reg.a
+	}
+	out := make([]byte, total*ss)
+	pos := int64(0)
+	for _, reg := range regions {
+		v.parityInto(buf.data, buf.fill, reg.a, reg.b, out[pos*ss:(pos+reg.b-reg.a)*ss])
+		pos += reg.b - reg.a
 	}
 	return out
 }
@@ -525,8 +899,16 @@ func (v *Volume) persistUpTo(lz *logicalZone, end int64) error {
 	// Determine which devices hold sub-IOs in [from, end): the data
 	// devices of the touched stripe units plus the parity devices of
 	// every stripe overlapped (full-stripe parity or partial-parity
-	// log).
-	need := make([]bool, v.lt.n)
+	// log). The bitmap is pooled — this runs on every FUA write.
+	var need []bool
+	if x := v.needPool.Get(); x != nil {
+		need = x.([]bool)
+		for i := range need {
+			need[i] = false
+		}
+	} else {
+		need = make([]bool, v.lt.n)
+	}
 	stripeSec := v.lt.stripeSectors()
 	for s := from / stripeSec; s <= (end-1)/stripeSec; s++ {
 		need[v.lt.parityDev(lz.idx, s)] = true
@@ -551,6 +933,7 @@ func (v *Volume) persistUpTo(lz *logicalZone, end int64) error {
 			futs = append(futs, subIO{dev: i, fut: d.Flush()})
 		}
 	}
+	v.needPool.Put(need)
 	if err := v.awaitSubIOs(futs); err != nil {
 		return err
 	}
@@ -565,11 +948,13 @@ func (v *Volume) persistUpTo(lz *logicalZone, end int64) error {
 // SubmitFlush flushes every device; once complete, all previously
 // completed writes are durable.
 func (v *Volume) SubmitFlush() *vclock.Future {
-	// Snapshot logical write pointers for the persistence bitmaps.
+	// Snapshot submitted logical write pointers for the persistence
+	// bitmaps: data claimed but not yet on the devices (a write mid
+	// submission) is not covered by this flush.
 	snaps := make([]int64, v.lt.numZones)
 	for z, lz := range v.zones {
 		lz.mu.Lock()
-		snaps[z] = lz.wp
+		snaps[z] = lz.submittedWP
 		lz.mu.Unlock()
 	}
 	var futs []subIO

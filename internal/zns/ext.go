@@ -90,6 +90,7 @@ func (d *Device) WriteZRWA(sector int64, data []byte, flags Flag) *vclock.Future
 	}
 	d.finalizeFullLocked(z)
 	d.hostWriteBytes += nSectors * int64(d.cfg.SectorSize)
+	d.writeCmds++
 
 	now := d.clk.Now()
 	occ := d.cfg.WriteOpOverhead + d.xferTime(len(data), d.cfg.WriteBandwidth)

@@ -76,7 +76,37 @@ func (d *Device) Write(sector int64, data []byte, flags Flag) *vclock.Future {
 	nSectors := int64(len(data) / d.cfg.SectorSize)
 
 	d.mu.Lock()
-	fut, err := d.writeLocked(sector, nSectors, data, flags)
+	fut, err := d.writeLocked(sector, nSectors, data, nil, flags)
+	d.mu.Unlock()
+	if err != nil {
+		return d.fail(err)
+	}
+	return fut
+}
+
+// Writev submits one sequential write command whose payload is gathered
+// from segs (an NVMe-style scatter list). The command is a single device
+// command: it pays WriteOpOverhead once and occupies the write pipe for
+// one transfer of the combined length, which is what makes host-side
+// sub-IO coalescing visible in simulated time. Semantics are otherwise
+// identical to Write of the concatenated payload.
+func (d *Device) Writev(sector int64, segs [][]byte, flags Flag) *vclock.Future {
+	if len(segs) == 0 {
+		return d.fail(ErrUnaligned)
+	}
+	if len(segs) == 1 {
+		return d.Write(sector, segs[0], flags)
+	}
+	var nSectors int64
+	for _, s := range segs {
+		if len(s) == 0 || len(s)%d.cfg.SectorSize != 0 {
+			return d.fail(ErrUnaligned)
+		}
+		nSectors += int64(len(s) / d.cfg.SectorSize)
+	}
+
+	d.mu.Lock()
+	fut, err := d.writeLocked(sector, nSectors, nil, segs, flags)
 	d.mu.Unlock()
 	if err != nil {
 		return d.fail(err)
@@ -101,7 +131,7 @@ func (d *Device) Append(z int, data []byte, flags Flag) (int64, *vclock.Future) 
 
 	d.mu.Lock()
 	sector := d.ZoneStart(z) + d.zones[z].wp
-	fut, err := d.writeLocked(sector, nSectors, data, flags)
+	fut, err := d.writeLocked(sector, nSectors, data, nil, flags)
 	d.mu.Unlock()
 	if err != nil {
 		return -1, d.fail(err)
@@ -109,9 +139,10 @@ func (d *Device) Append(z int, data []byte, flags Flag) (int64, *vclock.Future) 
 	return sector, fut
 }
 
-// writeLocked performs validation and state transition for Write/Append.
-// Caller holds d.mu.
-func (d *Device) writeLocked(sector, nSectors int64, data []byte, flags Flag) (*vclock.Future, error) {
+// writeLocked performs validation and state transition for Write, Writev
+// and Append. The payload is either data (single segment) or segs
+// (gathered); exactly one is non-nil. Caller holds d.mu.
+func (d *Device) writeLocked(sector, nSectors int64, data []byte, segs [][]byte, flags Flag) (*vclock.Future, error) {
 	if d.failed {
 		return nil, ErrDeviceFailed
 	}
@@ -140,13 +171,22 @@ func (d *Device) writeLocked(sector, nSectors int64, data []byte, flags Flag) (*
 		if zo.data == nil {
 			zo.data = make([]byte, d.cfg.ZoneCap*int64(d.cfg.SectorSize))
 		}
-		copy(zo.data[off*int64(d.cfg.SectorSize):], data)
+		if segs == nil {
+			copy(zo.data[off*int64(d.cfg.SectorSize):], data)
+		} else {
+			pos := off * int64(d.cfg.SectorSize)
+			for _, s := range segs {
+				copy(zo.data[pos:], s)
+				pos += int64(len(s))
+			}
+		}
 	}
 	end := off + nSectors
 	zo.wp = end
 	zo.unflushed = append(zo.unflushed, extent{start: off, end: end})
 	d.finalizeFullLocked(z)
 	d.hostWriteBytes += nSectors * int64(d.cfg.SectorSize)
+	d.writeCmds++
 
 	// A preflush acts on everything written before this command.
 	var flushSnap []int64

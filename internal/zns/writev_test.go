@@ -1,0 +1,133 @@
+package zns
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"raizn/internal/vclock"
+)
+
+func TestWritevPayloadEquivalence(t *testing.T) {
+	cfg := testConfig()
+	run(t, cfg, func(c *vclock.Clock, d *Device) {
+		segs := [][]byte{
+			pattern(cfg, 2, 0x11),
+			pattern(cfg, 3, 0x22),
+			pattern(cfg, 1, 0x33),
+		}
+		if err := d.Writev(0, segs, 0).Wait(); err != nil {
+			t.Fatalf("writev: %v", err)
+		}
+		want := bytes.Join(segs, nil)
+		got := mustRead(t, d, 0, 6)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("writev payload mismatch")
+		}
+		if wp := d.Zone(0).WP; wp != 6 {
+			t.Fatalf("wp = %d, want 6", wp)
+		}
+		if n := d.WriteCommands(); n != 1 {
+			t.Fatalf("WriteCommands = %d, want 1 (merged command)", n)
+		}
+	})
+}
+
+func TestWritevCostsOneCommandOverhead(t *testing.T) {
+	cfg := testConfig()
+	const nSegs = 4
+	const segSectors = 2
+
+	// Vectored write: one command for all segments.
+	var tVec time.Duration
+	run(t, cfg, func(c *vclock.Clock, d *Device) {
+		segs := make([][]byte, nSegs)
+		for i := range segs {
+			segs[i] = pattern(cfg, segSectors, byte(i))
+		}
+		start := c.Now()
+		if err := d.Writev(0, segs, 0).Wait(); err != nil {
+			t.Fatalf("writev: %v", err)
+		}
+		tVec = c.Now() - start
+	})
+
+	// One plain write of the combined length must cost exactly the same.
+	var tFlat time.Duration
+	run(t, cfg, func(c *vclock.Clock, d *Device) {
+		start := c.Now()
+		mustWrite(t, d, 0, pattern(cfg, nSegs*segSectors, 0x7F), 0)
+		tFlat = c.Now() - start
+	})
+	if tVec != tFlat {
+		t.Fatalf("Writev took %v, a single Write of equal size %v; merged command must cost one transfer", tVec, tFlat)
+	}
+
+	// N separate sequential writes pay the per-command overhead and
+	// completion latency N times instead of once.
+	var tSplit time.Duration
+	var xferGap time.Duration // transfer-time rounding: n small transfers vs one large
+	run(t, cfg, func(c *vclock.Clock, d *Device) {
+		start := c.Now()
+		for i := 0; i < nSegs; i++ {
+			mustWrite(t, d, int64(i*segSectors), pattern(cfg, segSectors, byte(i)), 0)
+		}
+		tSplit = c.Now() - start
+		segBytes := segSectors * cfg.SectorSize
+		xferGap = time.Duration(nSegs)*d.xferTime(segBytes, cfg.WriteBandwidth) -
+			d.xferTime(nSegs*segBytes, cfg.WriteBandwidth)
+	})
+	wantGap := time.Duration(nSegs-1)*(cfg.WriteOpOverhead+cfg.WriteLatency) + xferGap
+	if got := tSplit - tVec; got != wantGap {
+		t.Fatalf("split-vs-vectored gap = %v, want (n-1)*(overhead+latency) = %v", got, wantGap)
+	}
+}
+
+func TestWritevValidation(t *testing.T) {
+	cfg := testConfig()
+	run(t, cfg, func(c *vclock.Clock, d *Device) {
+		if err := d.Writev(0, nil, 0).Wait(); err != ErrUnaligned {
+			t.Fatalf("empty segs: got %v, want ErrUnaligned", err)
+		}
+		bad := [][]byte{pattern(cfg, 1, 1), make([]byte, cfg.SectorSize/2)}
+		if err := d.Writev(0, bad, 0).Wait(); err != ErrUnaligned {
+			t.Fatalf("misaligned seg: got %v, want ErrUnaligned", err)
+		}
+		if err := d.Writev(1, [][]byte{pattern(cfg, 1, 1)}, 0).Wait(); err != ErrNotSequential {
+			t.Fatalf("non-wp writev: got %v, want ErrNotSequential", err)
+		}
+		// A single segment delegates to Write and still counts once.
+		if err := d.Writev(0, [][]byte{pattern(cfg, 2, 0x44)}, 0).Wait(); err != nil {
+			t.Fatalf("single-seg writev: %v", err)
+		}
+		if n := d.WriteCommands(); n != 1 {
+			t.Fatalf("WriteCommands = %d, want 1", n)
+		}
+	})
+}
+
+func TestWritevPowerLossSemantics(t *testing.T) {
+	cfg := testConfig()
+	run(t, cfg, func(c *vclock.Clock, d *Device) {
+		segs := [][]byte{pattern(cfg, 2, 0x55), pattern(cfg, 2, 0x66)}
+		if err := d.Writev(0, segs, 0).Wait(); err != nil {
+			t.Fatalf("writev: %v", err)
+		}
+		// Unflushed: the whole merged command reverts on power loss.
+		d.PowerLossAt(nil)
+		if wp := d.Zone(0).WP; wp != 0 {
+			t.Fatalf("unflushed writev survived power loss, wp = %d", wp)
+		}
+		// FUA: persists.
+		if err := d.Writev(0, segs, FUA).Wait(); err != nil {
+			t.Fatalf("writev FUA: %v", err)
+		}
+		d.PowerLossAt(nil)
+		if wp := d.Zone(0).WP; wp != 4 {
+			t.Fatalf("FUA writev lost, wp = %d, want 4", wp)
+		}
+		if got, want := mustRead(t, d, 0, 4), bytes.Join(segs, nil); !bytes.Equal(got, want) {
+			t.Fatalf("FUA writev payload mismatch after power loss")
+		}
+	})
+}

@@ -243,6 +243,7 @@ type Device struct {
 	// and the experiment harness.
 	hostWriteBytes int64
 	hostReadBytes  int64
+	writeCmds      int64 // write commands accepted (a Writev counts once)
 	flushCount     int64
 	resetCount     int64
 }
@@ -335,6 +336,15 @@ func (d *Device) Counters() (writeBytes, readBytes, flushes, resets int64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.hostWriteBytes, d.hostReadBytes, d.flushCount, d.resetCount
+}
+
+// WriteCommands returns the number of write commands the device has
+// accepted. A gathered Writev counts as one command regardless of how
+// many segments it carries, so hosts can verify sub-IO coalescing.
+func (d *Device) WriteCommands() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.writeCmds
 }
 
 // transitionToOpenLocked moves zone z toward the open state, enforcing the
