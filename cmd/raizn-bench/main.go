@@ -7,8 +7,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"raizn/internal/bench"
 )
@@ -18,6 +20,7 @@ func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	list := flag.Bool("list", false, "list experiments")
 	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+	metrics := flag.String("metrics", "", "write a JSON metrics-registry snapshot per experiment to this path (-all inserts the experiment name before the extension)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -59,14 +62,15 @@ func main() {
 		}
 	case *all:
 		for _, e := range bench.Experiments() {
-			if err := bench.Run(e.Name, os.Stdout, *quick); err != nil {
+			opts := bench.Options{Quick: *quick, MetricsPath: metricsPathFor(*metrics, e.Name)}
+			if err := bench.RunOpts(e.Name, os.Stdout, opts); err != nil {
 				fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, err)
 				os.Exit(1)
 			}
 			fmt.Println()
 		}
 	case *exp != "":
-		if err := bench.Run(*exp, os.Stdout, *quick); err != nil {
+		if err := bench.RunOpts(*exp, os.Stdout, bench.Options{Quick: *quick, MetricsPath: *metrics}); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -74,4 +78,14 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// metricsPathFor derives a per-experiment snapshot path from the -metrics
+// base path: "m.json" + "writepath" -> "m.writepath.json".
+func metricsPathFor(base, name string) string {
+	if base == "" {
+		return ""
+	}
+	ext := filepath.Ext(base)
+	return strings.TrimSuffix(base, ext) + "." + name + ext
 }

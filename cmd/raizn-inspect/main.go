@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"os"
 
+	"raizn/internal/obs"
 	"raizn/internal/raizn"
 	"raizn/internal/scrub"
 	"raizn/internal/vclock"
@@ -25,6 +26,9 @@ func main() {
 	rot := flag.Int("rot", 0, "seeded single-sector corruptions to inject into filled zones")
 	rotSeed := flag.Int64("rot-seed", 1, "seed for corruption placement")
 	doScrub := flag.Bool("scrub", false, "run one repair scrub pass before dumping")
+	trace := flag.Bool("trace", false, "trace a mixed read/write workload: per-phase breakdown, queue-depth timeline, watchdog-flagged slow IOs")
+	slowDev := flag.Int("slow-dev", 2, "device to slow during the traced workload (with -trace)")
+	slowFactor := flag.Float64("slow-factor", 8, "service-time multiplier applied to -slow-dev (with -trace)")
 	flag.Parse()
 
 	clk := vclock.New()
@@ -39,6 +43,8 @@ func main() {
 		}
 		rcfg := raizn.DefaultConfig()
 		rcfg.StripeUnitSectors = *su
+		tr := obs.NewTracer(clk, obs.Config{Watchdog: obs.WatchdogConfig{MinSamples: 32}})
+		rcfg.Tracer = tr
 		vol, err := raizn.Create(clk, devs, rcfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -62,6 +68,14 @@ func main() {
 			}
 		}
 		vol.Flush()
+
+		if *trace {
+			if *slowDev < 0 || *slowDev >= len(devs) {
+				fmt.Fprintf(os.Stderr, "trace: -slow-dev %d out of range\n", *slowDev)
+				os.Exit(1)
+			}
+			runTrace(vol, devs, tr, *fillZones, *slowDev, *slowFactor)
+		}
 
 		if *rot > 0 && *fillZones > 0 {
 			rng := rand.New(rand.NewSource(*rotSeed))
@@ -164,4 +178,79 @@ func main() {
 			fmt.Printf("  [written=%dKiB read=%dKiB flushes=%d resets=%d]\n", w>>10, r>>10, fl, rs)
 		}
 	})
+}
+
+// runTrace drives a mixed read/write workload with tracing enabled,
+// slows one device three quarters of the way through, and prints the
+// critical-path breakdown, the device queue-depth timeline, and the span
+// trees the slow-IO watchdog flagged.
+func runTrace(vol *raizn.Volume, devs []*zns.Device, tr *obs.Tracer, fillZones, slowDev int, factor float64) {
+	// Write into a fresh zone past the partial one so the sequential-write
+	// constraint holds whatever -fill/-partial were.
+	zone := fillZones + 1
+	if zone >= vol.NumZones() {
+		fmt.Fprintln(os.Stderr, "trace: no free zone left after -fill")
+		os.Exit(1)
+	}
+	const chunk = 32
+	ops := int(vol.ZoneSectors() / chunk)
+	if ops > 128 {
+		ops = 128
+	}
+	slowAt := ops * 3 / 4
+
+	tr.Enable()
+	defer tr.Disable()
+
+	base := int64(zone) * vol.ZoneSectors()
+	wbuf := make([]byte, chunk*vol.SectorSize())
+	rbuf := make([]byte, chunk*vol.SectorSize())
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < ops; i++ {
+		if i == slowAt {
+			devs[slowDev].SetSlowdown(factor)
+		}
+		if err := vol.Write(base+int64(i)*chunk, wbuf, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "trace write:", err)
+			os.Exit(1)
+		}
+		if i > 0 {
+			off := int64(rng.Intn(i)) * chunk
+			if err := vol.Read(base+off, rbuf); err != nil {
+				fmt.Fprintln(os.Stderr, "trace read:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	devs[slowDev].SetSlowdown(1)
+
+	fmt.Printf("=== trace: %d writes + %d reads (32 sectors each) in zone %d; dev%d slowed %.0fx from op %d ===\n",
+		ops, ops-1, zone, slowDev, factor, slowAt)
+	roots := tr.Snapshot()
+
+	fmt.Println("\nper-phase critical path:")
+	obs.Analyze(roots).Write(os.Stdout)
+
+	fmt.Println("\ndevice queue depth:")
+	obs.WriteTimeline(os.Stdout, obs.QueueDepthTimeline(roots), 24)
+
+	flagged, dropped := tr.Watchdog().Flagged()
+	if thr, ok := tr.Watchdog().Threshold(obs.OpWrite); ok {
+		fmt.Printf("\nwatchdog: write threshold %v", thr)
+		if rthr, rok := tr.Watchdog().Threshold(obs.OpRead); rok {
+			fmt.Printf(", read threshold %v", rthr)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("watchdog flagged %d slow IOs (%d more dropped):\n", len(flagged), dropped)
+	const maxTrees = 3
+	for i, s := range flagged {
+		if i == maxTrees {
+			fmt.Printf("... %d more flagged span trees omitted\n", len(flagged)-maxTrees)
+			break
+		}
+		fmt.Println()
+		fmt.Print(obs.FormatSpanTree(s))
+	}
+	fmt.Println()
 }

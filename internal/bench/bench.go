@@ -9,11 +9,13 @@ package bench
 import (
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"time"
 
 	"raizn/internal/blockdev"
 	"raizn/internal/mdraid"
+	"raizn/internal/obs"
 	"raizn/internal/raizn"
 	"raizn/internal/vclock"
 	"raizn/internal/zns"
@@ -37,16 +39,60 @@ func Experiments() []Experiment {
 	return out
 }
 
+// Options configures one experiment run.
+type Options struct {
+	// Quick shrinks the workload for smoke tests.
+	Quick bool
+	// MetricsPath, when non-empty, receives a JSON snapshot of the run's
+	// metrics registry when the experiment finishes.
+	MetricsPath string
+}
+
+// runRegistry collects the metrics of every volume, device and scrubber
+// built during the current experiment run. RunOpts resets it per run and
+// snapshots it to Options.MetricsPath. Experiments that sweep
+// configurations build several volumes against the same registry: same-
+// name counters accumulate across the sweep, and pull-style device
+// gauges reflect the most recently built array (GaugeFunc replaces).
+var runRegistry = obs.NewRegistry()
+
 // Run executes the named experiment, writing its report to w. quick
 // shrinks the workload for smoke tests.
 func Run(name string, w io.Writer, quick bool) error {
+	return RunOpts(name, w, Options{Quick: quick})
+}
+
+// RunOpts executes the named experiment with the given options.
+func RunOpts(name string, w io.Writer, opts Options) error {
 	for _, e := range registry {
 		if e.Name == name {
 			fmt.Fprintf(w, "=== %s: %s ===\n", e.Name, e.Title)
-			return e.Run(w, quick)
+			runRegistry = obs.NewRegistry()
+			if err := e.Run(w, opts.Quick); err != nil {
+				return err
+			}
+			if opts.MetricsPath != "" {
+				if err := writeMetricsSnapshot(opts.MetricsPath); err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "\nwrote metrics snapshot to %s\n", opts.MetricsPath)
+			}
+			return nil
 		}
 	}
 	return fmt.Errorf("bench: unknown experiment %q (use one of %v)", name, names())
+}
+
+func writeMetricsSnapshot(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := runRegistry.Snapshot().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func names() []string {
@@ -96,23 +142,28 @@ func blockConfig(sc scale, discard bool) blockdev.Config {
 	return cfg
 }
 
-// newRaizn builds a fresh RAIZN array.
+// newRaizn builds a fresh RAIZN array wired into the run's metrics
+// registry.
 func newRaizn(clk *vclock.Clock, sc scale, discard bool, su int64) (*raizn.Volume, []*zns.Device, error) {
 	devs := make([]*zns.Device, sc.numDevices)
 	for i := range devs {
 		devs[i] = zns.NewDevice(clk, znsConfig(sc, discard))
+		devs[i].RegisterMetrics(runRegistry, fmt.Sprintf("zns_dev%d", i))
 	}
 	rcfg := raizn.DefaultConfig()
 	rcfg.StripeUnitSectors = su
+	rcfg.Metrics = runRegistry
 	v, err := raizn.Create(clk, devs, rcfg)
 	return v, devs, err
 }
 
-// newMdraid builds a fresh mdraid array.
+// newMdraid builds a fresh mdraid array wired into the run's metrics
+// registry.
 func newMdraid(clk *vclock.Clock, sc scale, discard bool, chunk int64) (*mdraid.Volume, []*blockdev.Device, error) {
 	devs := make([]*blockdev.Device, sc.numDevices)
 	for i := range devs {
 		devs[i] = blockdev.NewDevice(clk, blockConfig(sc, discard))
+		devs[i].RegisterMetrics(runRegistry, fmt.Sprintf("blockdev_dev%d", i))
 	}
 	mcfg := mdraid.DefaultConfig()
 	mcfg.ChunkSectors = chunk

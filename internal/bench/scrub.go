@@ -72,6 +72,7 @@ func runScrubInterference(w io.Writer, quick bool) error {
 					Repair: true, RateLimit: m.rate,
 					PassInterval: time.Millisecond,
 				})
+				s.RegisterMetrics(runRegistry)
 				s.Start()
 			}
 			// Duration-bounded: the window must be long relative to
@@ -151,6 +152,7 @@ func runScrubCoverage(w io.Writer, quick bool) error {
 			}
 
 			sb := scrub.New(scrub.Config{Clock: clk, Target: scrub.RaiznTarget{V: v}, Repair: true})
+			sb.RegisterMetrics(runRegistry)
 			stats, err := sb.RunPass()
 			if err != nil {
 				panic(err)

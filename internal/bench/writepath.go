@@ -71,15 +71,18 @@ type wpReport struct {
 	Host       []wpHostResult `json:"host"`
 }
 
-// newRaiznWP builds a RAIZN array with the write path selected.
+// newRaiznWP builds a RAIZN array with the write path selected, wired
+// into the run's metrics registry.
 func newRaiznWP(clk *vclock.Clock, sc scale, su int64, legacy bool) (*raizn.Volume, error) {
 	devs := make([]*zns.Device, sc.numDevices)
 	for i := range devs {
 		devs[i] = zns.NewDevice(clk, znsConfig(sc, true))
+		devs[i].RegisterMetrics(runRegistry, fmt.Sprintf("zns_dev%d", i))
 	}
 	rcfg := raizn.DefaultConfig()
 	rcfg.StripeUnitSectors = su
 	rcfg.LegacyWritePath = legacy
+	rcfg.Metrics = runRegistry
 	return raizn.Create(clk, devs, rcfg)
 }
 

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"raizn/internal/obs"
 	"raizn/internal/vclock"
 )
 
@@ -174,6 +175,8 @@ type Device struct {
 	writeBusy time.Duration
 	readBusy  time.Duration
 
+	slowFactor float64 // injected service-time multiplier; <=1 means none
+
 	unflushed map[int64]struct{} // logical pages written since last flush
 
 	// Fault injection (faults.go).
@@ -283,6 +286,61 @@ func (d *Device) Failed() bool {
 
 func (d *Device) fail(err error) *vclock.Future { return d.clk.Completed(err) }
 
+// failSpan ends the span with an immediate submission error and returns
+// a pre-completed future carrying it.
+func (d *Device) failSpan(sp *obs.Span, err error) *vclock.Future {
+	sp.End(err)
+	return d.fail(err)
+}
+
+// SetSlowdown injects a service-time multiplier on every subsequent
+// command (see zns.Device.SetSlowdown). factor <= 1 restores normal
+// speed.
+func (d *Device) SetSlowdown(factor float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.slowFactor = factor
+}
+
+func (d *Device) slowLocked(occ time.Duration) time.Duration {
+	if d.slowFactor > 1 {
+		occ = time.Duration(float64(occ) * d.slowFactor)
+	}
+	return occ
+}
+
+// markPipe records when a command will reach the head of a pipe whose
+// busy-until is busy (see the zns twin).
+func markPipe(sp *obs.Span, busy, now time.Duration) {
+	if sp == nil {
+		return
+	}
+	start := now
+	if busy > start {
+		start = busy
+	}
+	sp.MarkAt(obs.PhaseQueue, start)
+}
+
+// RegisterMetrics publishes the device's lifetime counters into the
+// registry as pull-style gauges under the given prefix (conventionally
+// "blockdev_dev<i>"). The gauge funcs take d.mu at snapshot time.
+func (d *Device) RegisterMetrics(r *obs.Registry, prefix string) {
+	lockedInt := func(f func() int64) func() int64 {
+		return func() int64 {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			return f()
+		}
+	}
+	r.GaugeFunc(prefix+"_host_write_bytes", lockedInt(func() int64 { return d.hostWriteBytes }))
+	r.GaugeFunc(prefix+"_host_read_bytes", lockedInt(func() int64 { return d.hostReadBytes }))
+	r.GaugeFunc(prefix+"_gc_copied_pages_total", lockedInt(func() int64 { return d.gcCopiedPages }))
+	r.GaugeFunc(prefix+"_gc_erases_total", lockedInt(func() int64 { return d.gcEraseCount }))
+	r.GaugeFunc(prefix+"_flushes_total", lockedInt(func() int64 { return d.flushCount }))
+	r.GaugeFunc(prefix+"_free_blocks", lockedInt(func() int64 { return int64(len(d.free)) }))
+}
+
 func (d *Device) xferTime(n int, bw float64) time.Duration {
 	return time.Duration(float64(n) / bw * float64(time.Second))
 }
@@ -296,7 +354,7 @@ func reservePipe(busy *time.Duration, now, occupancy time.Duration) time.Duratio
 	return *busy
 }
 
-func (d *Device) schedule(fut *vclock.Future, at time.Duration, epoch uint64, err error, effect func()) {
+func (d *Device) schedule(sp *obs.Span, fut *vclock.Future, at time.Duration, epoch uint64, err error, effect func()) {
 	now := d.clk.Now()
 	d.clk.AfterFunc(at-now, func() {
 		d.mu.Lock()
@@ -306,9 +364,11 @@ func (d *Device) schedule(fut *vclock.Future, at time.Duration, epoch uint64, er
 		}
 		d.mu.Unlock()
 		if stale {
+			sp.EndAt(at, ErrPowerLoss)
 			fut.Complete(ErrPowerLoss)
 			return
 		}
+		sp.EndAt(at, err)
 		fut.Complete(err)
 	})
 }
@@ -418,18 +478,24 @@ func (d *Device) pageData(pp int64) []byte {
 // completes when the transfer (including any garbage collection it
 // triggered) finishes.
 func (d *Device) Write(sector int64, data []byte, flags Flag) *vclock.Future {
+	return d.WriteSpan(nil, sector, data, flags)
+}
+
+// WriteSpan is Write with a tracing span: the device marks the span's
+// queue and media phases and ends it when the command completes.
+func (d *Device) WriteSpan(sp *obs.Span, sector int64, data []byte, flags Flag) *vclock.Future {
 	if len(data) == 0 || len(data)%d.cfg.SectorSize != 0 {
-		return d.fail(ErrUnaligned)
+		return d.failSpan(sp, ErrUnaligned)
 	}
 	nPages := int64(len(data) / d.cfg.SectorSize)
 	if sector < 0 || sector+nPages > d.cfg.NumSectors {
-		return d.fail(ErrOutOfRange)
+		return d.failSpan(sp, ErrOutOfRange)
 	}
 
 	d.mu.Lock()
 	if d.failed {
 		d.mu.Unlock()
-		return d.fail(ErrDeviceFailed)
+		return d.failSpan(sp, ErrDeviceFailed)
 	}
 	var gcCost time.Duration
 	for i := int64(0); i < nPages; i++ {
@@ -452,17 +518,21 @@ func (d *Device) Write(sector int64, data []byte, flags Flag) *vclock.Future {
 	d.hostWriteBytes += nPages * int64(d.cfg.SectorSize)
 
 	now := d.clk.Now()
-	occ := gcCost + d.cfg.WriteOpOverhead + d.xferTime(len(data), d.cfg.WriteBandwidth)
+	occ := d.slowLocked(gcCost + d.cfg.WriteOpOverhead + d.xferTime(len(data), d.cfg.WriteBandwidth))
 	if flags&Preflush != 0 {
 		occ += d.cfg.FlushLatency
 	}
-	done := reservePipe(&d.writeBusy, now, occ) + d.cfg.WriteLatency
+	sp.SetSegs(1)
+	markPipe(sp, d.writeBusy, now)
+	media := reservePipe(&d.writeBusy, now, occ)
+	sp.MarkAt(obs.PhaseMedia, media)
+	done := media + d.cfg.WriteLatency
 	epoch := d.epoch
 	fua := flags&(FUA|Preflush) != 0
 	d.mu.Unlock()
 
 	fut := d.clk.NewFuture()
-	d.schedule(fut, done, epoch, nil, func() {
+	d.schedule(sp, fut, done, epoch, nil, func() {
 		if fua {
 			// Persisting precisely the affected pages is enough for the
 			// tests built on this device; a full-cache flush model is
@@ -480,27 +550,33 @@ func (d *Device) Write(sector int64, data []byte, flags Flag) *vclock.Future {
 // and occupies the write pipe for a single transfer of the combined
 // length; semantics match Write of the concatenated payload.
 func (d *Device) Writev(sector int64, segs [][]byte, flags Flag) *vclock.Future {
+	return d.WritevSpan(nil, sector, segs, flags)
+}
+
+// WritevSpan is Writev with a tracing span; the span additionally
+// records the scatter-list segment count.
+func (d *Device) WritevSpan(sp *obs.Span, sector int64, segs [][]byte, flags Flag) *vclock.Future {
 	if len(segs) == 0 {
-		return d.fail(ErrUnaligned)
+		return d.failSpan(sp, ErrUnaligned)
 	}
 	if len(segs) == 1 {
-		return d.Write(sector, segs[0], flags)
+		return d.WriteSpan(sp, sector, segs[0], flags)
 	}
 	var nPages int64
 	for _, s := range segs {
 		if len(s) == 0 || len(s)%d.cfg.SectorSize != 0 {
-			return d.fail(ErrUnaligned)
+			return d.failSpan(sp, ErrUnaligned)
 		}
 		nPages += int64(len(s) / d.cfg.SectorSize)
 	}
 	if sector < 0 || sector+nPages > d.cfg.NumSectors {
-		return d.fail(ErrOutOfRange)
+		return d.failSpan(sp, ErrOutOfRange)
 	}
 
 	d.mu.Lock()
 	if d.failed {
 		d.mu.Unlock()
-		return d.fail(ErrDeviceFailed)
+		return d.failSpan(sp, ErrDeviceFailed)
 	}
 	ss := int64(d.cfg.SectorSize)
 	var gcCost time.Duration
@@ -524,17 +600,21 @@ func (d *Device) Writev(sector int64, segs [][]byte, flags Flag) *vclock.Future 
 	d.hostWriteBytes += nPages * ss
 
 	now := d.clk.Now()
-	occ := gcCost + d.cfg.WriteOpOverhead + d.xferTime(int(nPages*ss), d.cfg.WriteBandwidth)
+	occ := d.slowLocked(gcCost + d.cfg.WriteOpOverhead + d.xferTime(int(nPages*ss), d.cfg.WriteBandwidth))
 	if flags&Preflush != 0 {
 		occ += d.cfg.FlushLatency
 	}
-	done := reservePipe(&d.writeBusy, now, occ) + d.cfg.WriteLatency
+	sp.SetSegs(len(segs))
+	markPipe(sp, d.writeBusy, now)
+	media := reservePipe(&d.writeBusy, now, occ)
+	sp.MarkAt(obs.PhaseMedia, media)
+	done := media + d.cfg.WriteLatency
 	epoch := d.epoch
 	fua := flags&(FUA|Preflush) != 0
 	d.mu.Unlock()
 
 	fut := d.clk.NewFuture()
-	d.schedule(fut, done, epoch, nil, func() {
+	d.schedule(sp, fut, done, epoch, nil, func() {
 		if fua {
 			for i := int64(0); i < nPages; i++ {
 				delete(d.unflushed, sector+i)
@@ -547,18 +627,23 @@ func (d *Device) Writev(sector int64, segs [][]byte, flags Flag) *vclock.Future 
 // Read fills buf starting at the absolute sector. Unwritten (trimmed)
 // sectors read as zeroes.
 func (d *Device) Read(sector int64, buf []byte) *vclock.Future {
+	return d.ReadSpan(nil, sector, buf)
+}
+
+// ReadSpan is Read with a tracing span.
+func (d *Device) ReadSpan(sp *obs.Span, sector int64, buf []byte) *vclock.Future {
 	if len(buf) == 0 || len(buf)%d.cfg.SectorSize != 0 {
-		return d.fail(ErrUnaligned)
+		return d.failSpan(sp, ErrUnaligned)
 	}
 	nPages := int64(len(buf) / d.cfg.SectorSize)
 	if sector < 0 || sector+nPages > d.cfg.NumSectors {
-		return d.fail(ErrOutOfRange)
+		return d.failSpan(sp, ErrOutOfRange)
 	}
 
 	d.mu.Lock()
 	if d.failed {
 		d.mu.Unlock()
-		return d.fail(ErrDeviceFailed)
+		return d.failSpan(sp, ErrDeviceFailed)
 	}
 	ss := int64(d.cfg.SectorSize)
 	for i := int64(0); i < nPages; i++ {
@@ -577,35 +662,45 @@ func (d *Device) Read(sector int64, buf []byte) *vclock.Future {
 	rerr := d.readFaultLocked(sector, nPages)
 
 	now := d.clk.Now()
-	occ := d.cfg.ReadOpOverhead + d.xferTime(len(buf), d.cfg.ReadBandwidth)
-	done := reservePipe(&d.readBusy, now, occ) + d.cfg.ReadLatency
+	occ := d.slowLocked(d.cfg.ReadOpOverhead + d.xferTime(len(buf), d.cfg.ReadBandwidth))
+	markPipe(sp, d.readBusy, now)
+	media := reservePipe(&d.readBusy, now, occ)
+	sp.MarkAt(obs.PhaseMedia, media)
+	done := media + d.cfg.ReadLatency
 	epoch := d.epoch
 	d.mu.Unlock()
 
 	fut := d.clk.NewFuture()
-	d.schedule(fut, done, epoch, rerr, nil)
+	d.schedule(sp, fut, done, epoch, rerr, nil)
 	return fut
 }
 
 // Flush persists the volatile write cache.
 func (d *Device) Flush() *vclock.Future {
+	return d.FlushSpan(nil)
+}
+
+// FlushSpan is Flush with a tracing span.
+func (d *Device) FlushSpan(sp *obs.Span) *vclock.Future {
 	d.mu.Lock()
 	if d.failed {
 		d.mu.Unlock()
-		return d.fail(ErrDeviceFailed)
+		return d.failSpan(sp, ErrDeviceFailed)
 	}
 	snap := make([]int64, 0, len(d.unflushed))
 	for lp := range d.unflushed {
 		snap = append(snap, lp)
 	}
 	now := d.clk.Now()
+	markPipe(sp, d.writeBusy, now)
 	done := reservePipe(&d.writeBusy, now, d.cfg.FlushLatency)
+	sp.MarkAt(obs.PhaseMedia, done)
 	epoch := d.epoch
 	d.flushCount++
 	d.mu.Unlock()
 
 	fut := d.clk.NewFuture()
-	d.schedule(fut, done, epoch, nil, func() {
+	d.schedule(sp, fut, done, epoch, nil, func() {
 		for _, lp := range snap {
 			delete(d.unflushed, lp)
 		}

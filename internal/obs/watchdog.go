@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"raizn/internal/stats"
+)
+
+// WatchdogConfig tunes the slow-IO watchdog.
+type WatchdogConfig struct {
+	// Multiple of the running per-op p99 a request must exceed to be
+	// flagged. Default 3.
+	Multiple float64
+	// MinSamples is the per-op warmup before flagging starts — a cold
+	// p99 over two samples flags everything. Default 64.
+	MinSamples uint64
+	// MaxFlagged bounds the retained flagged-span list. Default 16.
+	MaxFlagged int
+}
+
+// Watchdog watches root-span completions, keeps a running latency
+// histogram per op type, and retains the span trees of requests that
+// finished slower than Multiple× the running p99 — the "where did that
+// outlier go" question Figs. 9–10 of the paper answer by hand.
+type Watchdog struct {
+	cfg     WatchdogConfig
+	mu      sync.Mutex
+	hists   [numOps]*stats.Histogram
+	flagged []*Span
+	dropped int
+}
+
+func newWatchdog(cfg WatchdogConfig) *Watchdog {
+	if cfg.Multiple <= 0 {
+		cfg.Multiple = 3
+	}
+	if cfg.MinSamples == 0 {
+		cfg.MinSamples = 64
+	}
+	if cfg.MaxFlagged <= 0 {
+		cfg.MaxFlagged = 16
+	}
+	w := &Watchdog{cfg: cfg}
+	for i := range w.hists {
+		w.hists[i] = stats.NewHistogram()
+	}
+	return w
+}
+
+// observe feeds one finished root span. The span is judged against the
+// p99 of the observations BEFORE it — a slow span must not raise the
+// bar it is measured against.
+func (w *Watchdog) observe(s *Span) {
+	lat := s.Duration()
+	w.mu.Lock()
+	h := w.hists[s.Op]
+	slow := h.Count() >= w.cfg.MinSamples &&
+		float64(lat) > w.cfg.Multiple*float64(h.Percentile(99))
+	if slow {
+		if len(w.flagged) < w.cfg.MaxFlagged {
+			w.flagged = append(w.flagged, s)
+		} else {
+			w.dropped++
+		}
+	}
+	w.mu.Unlock()
+	h.Record(lat)
+}
+
+// Flagged returns the retained slow spans plus how many more were
+// flagged but dropped once the list filled.
+func (w *Watchdog) Flagged() (spans []*Span, dropped int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]*Span(nil), w.flagged...), w.dropped
+}
+
+// Running returns the watchdog's latency histogram for op — the
+// baseline flagged spans were compared against.
+func (w *Watchdog) Running(op Op) *stats.Histogram {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.hists[op]
+}
+
+// Threshold reports the current flagging threshold for op, or false
+// while still warming up.
+func (w *Watchdog) Threshold(op Op) (time.Duration, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	h := w.hists[op]
+	if h.Count() < w.cfg.MinSamples {
+		return 0, false
+	}
+	return time.Duration(w.cfg.Multiple * float64(h.Percentile(99))), true
+}

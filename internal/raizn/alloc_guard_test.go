@@ -1,0 +1,48 @@
+package raizn
+
+import "testing"
+
+// Checked-in allocs/op baselines for the SubmitWrite hot path with
+// tracing disabled. The obs span plumbing threads nil span handles
+// through the whole write path, and that must stay literally free: if
+// one of these numbers goes up, something put an allocation (or a live
+// span) on the disabled-tracing path. Lower the baseline when the write
+// path genuinely improves; raise it only for a deliberate trade-off.
+var submitWriteAllocBaseline = []struct {
+	name    string
+	sectors int64
+	allocs  int64
+}{
+	{"4K", 1, 27},
+	{"4-stripe", 16 * 16, 100}, // StripeUnitSectors(16) * 16
+}
+
+// TestSubmitWriteAllocGuard enforces the zero-allocation-when-disabled
+// tracing property by benchmarking the coalesced write path and
+// comparing allocs/op against the committed baseline. CI runs this as a
+// dedicated non-race step; the race detector perturbs allocation
+// counts, so the guard skips itself under -race.
+func TestSubmitWriteAllocGuard(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not comparable under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("skipping benchmark-backed guard in -short mode")
+	}
+	for _, c := range submitWriteAllocBaseline {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			r := testing.Benchmark(func(b *testing.B) {
+				benchSeqWrite(b, DefaultConfig(), c.sectors)
+			})
+			got := r.AllocsPerOp()
+			switch {
+			case got > c.allocs:
+				t.Errorf("SubmitWrite %s: %d allocs/op, baseline %d — the disabled-tracing hot path regressed",
+					c.name, got, c.allocs)
+			case got < c.allocs:
+				t.Logf("SubmitWrite %s: %d allocs/op beats baseline %d; consider lowering it", c.name, got, c.allocs)
+			}
+		})
+	}
+}

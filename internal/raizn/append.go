@@ -1,6 +1,7 @@
 package raizn
 
 import (
+	"raizn/internal/obs"
 	"raizn/internal/vclock"
 	"raizn/internal/zns"
 )
@@ -49,8 +50,9 @@ func (v *Volume) SubmitAppend(zone int, data []byte, flags zns.Flag) (int64, *vc
 	}
 	lba := v.lt.zoneStart(zone) + off
 	lz.wp = off + nSectors
+	sp := v.tracer.Begin(obs.OpWrite, lba, int64(len(data)))
 	// runWrite unlocks lz.mu; appends share the whole write pipeline.
-	return lba, v.runWrite(lz, off, data, flags)
+	return lba, v.runWrite(sp, lz, off, data, flags)
 }
 
 // Append appends data to the logical zone and blocks until completion,

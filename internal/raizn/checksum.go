@@ -3,6 +3,8 @@ package raizn
 import (
 	"encoding/binary"
 	"hash/crc32"
+
+	"raizn/internal/obs"
 )
 
 // Stripe-unit checksums make silent bit-rot *detectable*: parity alone
@@ -266,15 +268,15 @@ func crcOf(b []byte) uint32 { return crc32.Checksum(b, crcTable) }
 // data unit u of stripe s (or the parity unit when u == d) into a fresh
 // buffer, honoring relocation overlays. It is the scrubber's media
 // view of a unit.
-func (v *Volume) readUnitImage(z int, s int64, u int, need int64) ([]byte, error) {
+func (v *Volume) readUnitImage(sp *obs.Span, z int, s int64, u int, need int64) ([]byte, error) {
 	ss := int64(v.sectorSize)
 	buf := make([]byte, need*ss)
 	var futs []subIO
 	var err error
 	if u == v.lt.d {
-		err = v.readParityPiece(z, s, 0, need, buf, &futs)
+		err = v.readParityPieceSpan(sp, z, s, 0, need, buf, &futs)
 	} else {
-		err = v.readUnitPiece(z, s, u, 0, need, buf, &futs)
+		err = v.readUnitPieceSpan(sp, z, s, u, 0, need, buf, &futs)
 	}
 	if err != nil {
 		return nil, err

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 
+	"raizn/internal/obs"
 	"raizn/internal/vclock"
 	"raizn/internal/zns"
 )
@@ -202,8 +203,15 @@ func newMDManager(v *Volume, dev int) *mdManager {
 // header. flags is applied to the device append (FUA for write-ahead
 // logging).
 func (m *mdManager) append(r *record, flags zns.Flag) (*vclock.Future, int64, error) {
+	return m.appendSpan(nil, r, flags)
+}
+
+// appendSpan is append with a tracing span; the device marks the span's
+// queue and media phases and ends it when the append completes.
+func (m *mdManager) appendSpan(sp *obs.Span, r *record, flags zns.Flag) (*vclock.Future, int64, error) {
 	dev := m.vol.devs[m.dev]
 	if dev == nil {
+		sp.End(zns.ErrDeviceFailed)
 		return nil, -1, zns.ErrDeviceFailed
 	}
 	buf := r.encode(m.vol.sectorSize)
@@ -219,7 +227,7 @@ func (m *mdManager) append(r *record, flags zns.Flag) (*vclock.Future, int64, er
 		zd := dev.Zone(z)
 		remaining := dev.Config().ZoneCap - (zd.WP - dev.ZoneStart(z))
 		if remaining >= need && zd.State != zns.ZoneFull {
-			pba, fut := dev.Append(z, buf, flags)
+			pba, fut := dev.AppendSpan(sp, z, buf, flags)
 			if pba >= 0 {
 				m.mu.Unlock()
 				return fut, pba, nil
@@ -228,10 +236,12 @@ func (m *mdManager) append(r *record, flags zns.Flag) (*vclock.Future, int64, er
 		}
 		if err := m.gcSlotLocked(kind); err != nil {
 			m.mu.Unlock()
+			sp.End(err)
 			return nil, -1, err
 		}
 	}
 	m.mu.Unlock()
+	sp.End(errMDFull)
 	return nil, -1, errMDFull
 }
 

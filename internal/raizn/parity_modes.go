@@ -3,6 +3,7 @@ package raizn
 import (
 	"encoding/binary"
 
+	"raizn/internal/obs"
 	"raizn/internal/parity"
 	"raizn/internal/vclock"
 	"raizn/internal/zns"
@@ -48,8 +49,14 @@ func (r *record) encodePayloadOnly(sectorSize int) []byte {
 // appendMeta writes a record with its header in block metadata and only
 // the payload in the data sectors. Same GC behaviour as append.
 func (m *mdManager) appendMeta(r *record, flags zns.Flag) (*vclock.Future, int64, error) {
+	return m.appendMetaSpan(nil, r, flags)
+}
+
+// appendMetaSpan is appendMeta with a tracing span.
+func (m *mdManager) appendMetaSpan(sp *obs.Span, r *record, flags zns.Flag) (*vclock.Future, int64, error) {
 	dev := m.vol.devs[m.dev]
 	if dev == nil {
+		sp.End(zns.ErrDeviceFailed)
 		return nil, -1, zns.ErrDeviceFailed
 	}
 	buf := r.encodePayloadOnly(m.vol.sectorSize)
@@ -66,7 +73,7 @@ func (m *mdManager) appendMeta(r *record, flags zns.Flag) (*vclock.Future, int64
 		zd := dev.Zone(z)
 		remaining := dev.Config().ZoneCap - (zd.WP - dev.ZoneStart(z))
 		if remaining >= need && zd.State != zns.ZoneFull {
-			pba, fut := dev.AppendMeta(z, buf, meta, flags)
+			pba, fut := dev.AppendMetaSpan(sp, z, buf, meta, flags)
 			if pba >= 0 {
 				m.mu.Unlock()
 				return fut, pba, nil
@@ -74,17 +81,19 @@ func (m *mdManager) appendMeta(r *record, flags zns.Flag) (*vclock.Future, int64
 		}
 		if err := m.gcSlotLocked(kind); err != nil {
 			m.mu.Unlock()
+			sp.End(err)
 			return nil, -1, err
 		}
 	}
 	m.mu.Unlock()
+	sp.End(errMDFull)
 	return nil, -1, errMDFull
 }
 
 // issueZRWAParityLocked writes the stripe's current prefix parity in
 // place at the final parity location via the ZRWA, overwriting the
 // previous prefix. Caller holds lz.mu (device submission order).
-func (v *Volume) issueZRWAParityLocked(lz *logicalZone, s int64, buf *stripeBuffer, flags zns.Flag, futs *[]subIO) {
+func (v *Volume) issueZRWAParityLocked(sp *obs.Span, lz *logicalZone, s int64, buf *stripeBuffer, flags zns.Flag, futs *[]subIO) {
 	dev := v.lt.parityDev(lz.idx, s)
 	d := v.devForZone(dev, lz.idx)
 	if d == nil {
@@ -93,7 +102,9 @@ func (v *Volume) issueZRWAParityLocked(lz *logicalZone, s int64, buf *stripeBuff
 	plen := minI64(buf.fill, v.lt.su)
 	img := v.parityImageLocked(buf, []intraInterval{{0, plen}})
 	v.stats.zrwaParityWrites.Add(1)
-	fut := d.WriteZRWA(v.lt.parityPBA(lz.idx, s), img, flags)
+	pba := v.lt.parityPBA(lz.idx, s)
+	child := sp.Child(obs.OpDevWrite, dev, pba, int64(len(img)))
+	fut := d.WriteZRWASpan(child, pba, img, flags)
 	*futs = append(*futs, subIO{dev: dev, fut: fut})
 }
 

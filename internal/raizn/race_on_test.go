@@ -1,0 +1,7 @@
+//go:build race
+
+package raizn
+
+// raceEnabled reports whether the race detector is compiled in; guards
+// that compare allocation counts skip themselves under -race.
+const raceEnabled = true

@@ -27,6 +27,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"raizn/internal/obs"
 	"raizn/internal/vclock"
 	"raizn/internal/zns"
 )
@@ -84,6 +85,14 @@ type Config struct {
 	// under the zone lock. Kept for differential testing and as the
 	// benchmark baseline; see write_legacy.go.
 	LegacyWritePath bool
+	// Metrics is the registry the volume's counters are backed by. Nil
+	// creates a private registry (counters still work; they are just not
+	// shared with other components).
+	Metrics *obs.Registry
+	// Tracer collects per-request spans through the write/read/reset and
+	// scrub paths. Nil creates a private, disabled tracer; tracing costs
+	// nothing until it is enabled.
+	Tracer *obs.Tracer
 }
 
 // ParityMode selects the partial-parity crash-safety mechanism.
@@ -234,7 +243,9 @@ type Volume struct {
 	wsPool   sync.Pool
 	needPool sync.Pool
 
-	stats statsCounters
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	stats  statsCounters
 }
 
 // devTable is the immutable device-slot snapshot published under v.mu.
@@ -401,10 +412,20 @@ func newVolume(clk *vclock.Clock, devs []*zns.Device, cfg Config) (*Volume, erro
 	if arrayID == 0 {
 		arrayID = uint64(lt.n)<<32 ^ uint64(lt.su)<<16 ^ uint64(lt.numZones)
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = obs.NewTracer(clk, obs.Config{})
+	}
 	v := &Volume{
 		clk:         clk,
 		cfg:         cfg,
 		lt:          lt,
+		reg:         reg,
+		tracer:      tracer,
 		sectorSize:  dc.SectorSize,
 		arrayID:     arrayID,
 		devs:        append([]*zns.Device(nil), devs...),
@@ -426,12 +447,30 @@ func newVolume(clk *vclock.Clock, devs []*zns.Device, cfg Config) (*Volume, erro
 			v.md[i] = newMDManager(v, i)
 		}
 	}
+	v.stats = newStatsCounters(reg)
+	reg.GaugeFunc("raizn_degraded_slot", func() int64 {
+		v.mu.Lock()
+		defer v.mu.Unlock()
+		return int64(v.degraded)
+	})
+	reg.GaugeFunc("raizn_open_zones", func() int64 {
+		v.mu.Lock()
+		defer v.mu.Unlock()
+		return int64(v.openCount)
+	})
 	for z := range v.zones {
 		v.zones[z] = v.newLogicalZone(z)
 	}
 	v.publishDevTableLocked()
 	return v, nil
 }
+
+// Tracer returns the volume's span tracer (never nil; disabled unless
+// the caller enabled it or supplied an enabled one via Config).
+func (v *Volume) Tracer() *obs.Tracer { return v.tracer }
+
+// Metrics returns the registry the volume's counters live in.
+func (v *Volume) Metrics() *obs.Registry { return v.reg }
 
 func (v *Volume) newLogicalZone(z int) *logicalZone {
 	lz := &logicalZone{

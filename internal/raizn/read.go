@@ -3,6 +3,7 @@ package raizn
 import (
 	"errors"
 
+	"raizn/internal/obs"
 	"raizn/internal/parity"
 	"raizn/internal/vclock"
 	"raizn/internal/zns"
@@ -22,6 +23,8 @@ func (v *Volume) SubmitRead(lba int64, buf []byte) *vclock.Future {
 	}
 
 	v.stats.logicalReadBytes.Add(int64(len(buf)))
+	// Root span of the request; nil (and free) while tracing is disabled.
+	sp := v.tracer.Begin(obs.OpRead, lba, int64(len(buf)))
 	var futs []subIO
 	ss := int64(v.sectorSize)
 	pos := lba
@@ -33,16 +36,20 @@ func (v *Volume) SubmitRead(lba int64, buf []byte) *vclock.Future {
 		if avail := int64(len(out)) / ss; n > avail {
 			n = avail
 		}
-		if err := v.readZonePortion(z, pos, out[:n*ss], &futs); err != nil {
+		if err := v.readZonePortion(sp, z, pos, out[:n*ss], &futs); err != nil {
+			sp.End(err)
 			return v.clk.Completed(err)
 		}
 		pos += n
 		out = out[n*ss:]
 	}
+	sp.Mark(obs.PhaseSubmit)
 
 	result := v.clk.NewFuture()
 	v.clk.Go(func() {
-		result.Complete(v.awaitReads(futs))
+		err := v.awaitReads(futs)
+		sp.End(err)
+		result.Complete(err)
 	})
 	return result
 }
@@ -62,7 +69,7 @@ func (v *Volume) awaitReads(futs []subIO) error {
 			// Latent sector error on a foreground read: reconstruct the
 			// whole piece from parity + surviving units (§4.2 machinery).
 			c := s.repair
-			if rerr := v.degradedReadPiece(c.z, c.s, c.u, c.a, c.b, c.dst, c.wp).Wait(); rerr == nil {
+			if rerr := v.degradedReadPiece(nil, c.z, c.s, c.u, c.a, c.b, c.dst, c.wp).Wait(); rerr == nil {
 				v.stats.readErrorRepairs.Add(1)
 				continue
 			}
@@ -75,7 +82,7 @@ func (v *Volume) awaitReads(futs []subIO) error {
 }
 
 // readZonePortion plans the sub-reads for [pos, pos+len) inside zone z.
-func (v *Volume) readZonePortion(z int, pos int64, out []byte, futs *[]subIO) error {
+func (v *Volume) readZonePortion(sp *obs.Span, z int, pos int64, out []byte, futs *[]subIO) error {
 	lz := v.zones[z]
 	lz.mu.Lock()
 	// Read against the submitted write pointer: sectors a concurrent
@@ -120,7 +127,7 @@ func (v *Volume) readZonePortion(z int, pos int64, out []byte, futs *[]subIO) er
 		if pieceLen > n {
 			pieceLen = n
 		}
-		if err := v.readPiece(z, s, u, intra, intra+pieceLen, out[:pieceLen*ss], wp, futs); err != nil {
+		if err := v.readPiece(sp, z, s, u, intra, intra+pieceLen, out[:pieceLen*ss], wp, futs); err != nil {
 			return err
 		}
 		out = out[pieceLen*ss:]
@@ -132,17 +139,17 @@ func (v *Volume) readZonePortion(z int, pos int64, out []byte, futs *[]subIO) er
 
 // readPiece reads intra offsets [a, b) of data unit u in stripe s of zone
 // z into dst, choosing between the normal, relocated, and degraded paths.
-func (v *Volume) readPiece(z int, s int64, u int, a, b int64, dst []byte, zoneWP int64, futs *[]subIO) error {
+func (v *Volume) readPiece(sp *obs.Span, z int, s int64, u int, a, b int64, dst []byte, zoneWP int64, futs *[]subIO) error {
 	dev := v.lt.dataDev(z, s, u)
 	if v.devForZone(dev, z) == nil {
-		fut := v.degradedReadPiece(z, s, u, a, b, dst, zoneWP)
+		fut := v.degradedReadPiece(sp, z, s, u, a, b, dst, zoneWP)
 		*futs = append(*futs, subIO{dev: dev, fut: fut})
 		return nil
 	}
 	// Tag the device sub-reads with reconstruction context so a latent
 	// sector error is transparently read-repaired in awaitReads.
 	pre := len(*futs)
-	if err := v.readUnitPiece(z, s, u, a, b, dst, futs); err != nil {
+	if err := v.readUnitPieceSpan(sp, z, s, u, a, b, dst, futs); err != nil {
 		return err
 	}
 	ctx := &repairCtx{z: z, s: s, u: u, a: a, b: b, dst: dst, wp: zoneWP}
@@ -155,6 +162,12 @@ func (v *Volume) readPiece(z int, s int64, u int, a, b int64, dst []byte, zoneWP
 // readUnitPiece reads from the unit's owning (live) device, overlaying
 // any relocated fragments that shadow parts of the range.
 func (v *Volume) readUnitPiece(z int, s int64, u int, a, b int64, dst []byte, futs *[]subIO) error {
+	return v.readUnitPieceSpan(nil, z, s, u, a, b, dst, futs)
+}
+
+// readUnitPieceSpan is readUnitPiece with a parent span: each device
+// sub-read becomes an OpDevRead child.
+func (v *Volume) readUnitPieceSpan(sp *obs.Span, z int, s int64, u int, a, b int64, dst []byte, futs *[]subIO) error {
 	ss := int64(v.sectorSize)
 	lbaA := v.lt.stripeStart(z, s) + int64(u)*v.lt.su + a
 	lbaB := lbaA + (b - a)
@@ -198,7 +211,9 @@ func (v *Volume) readUnitPiece(z int, s int64, u int, a, b int64, dst []byte, fu
 	for _, g := range gaps {
 		intraLo := a + (g.lo - lbaA)
 		pba := int64(z)*v.lt.physZoneSize + s*v.lt.su + intraLo
-		fut := d.Read(pba, dst[(g.lo-lbaA)*ss:(g.hi-lbaA)*ss])
+		out := dst[(g.lo-lbaA)*ss : (g.hi-lbaA)*ss]
+		child := sp.Child(obs.OpDevRead, dev, pba, int64(len(out)))
+		fut := d.ReadSpan(child, pba, out)
 		*futs = append(*futs, subIO{dev: dev, fut: fut})
 	}
 	return nil
@@ -207,7 +222,7 @@ func (v *Volume) readUnitPiece(z int, s int64, u int, a, b int64, dst []byte, fu
 // degradedReadPiece reconstructs intra offsets [a, b) of the missing data
 // unit u from the stripe buffer (partial stripes) or from parity plus the
 // surviving units (complete stripes).
-func (v *Volume) degradedReadPiece(z int, s int64, u int, a, b int64, dst []byte, zoneWP int64) *vclock.Future {
+func (v *Volume) degradedReadPiece(sp *obs.Span, z int, s int64, u int, a, b int64, dst []byte, zoneWP int64) *vclock.Future {
 	v.stats.degradedReads.Add(1)
 	ss := int64(v.sectorSize)
 	lz := v.zones[z]
@@ -243,7 +258,7 @@ func (v *Volume) degradedReadPiece(z int, s int64, u int, a, b int64, dst []byte
 	var futs []subIO
 	nBytes := (b - a) * ss
 	pbuf := make([]byte, nBytes)
-	if err := v.readParityPiece(z, s, a, b, pbuf, &futs); err != nil {
+	if err := v.readParityPieceSpan(sp, z, s, a, b, pbuf, &futs); err != nil {
 		return v.clk.Completed(err)
 	}
 	survivors := make([][]byte, 0, v.lt.d)
@@ -256,7 +271,7 @@ func (v *Volume) degradedReadPiece(z int, s int64, u int, a, b int64, dst []byte
 			hi = b
 		}
 		sb := make([]byte, (hi-a)*ss)
-		if err := v.readUnitPiece(z, s, u2, a, hi, sb, &futs); err != nil {
+		if err := v.readUnitPieceSpan(sp, z, s, u2, a, hi, sb, &futs); err != nil {
 			return v.clk.Completed(err)
 		}
 		survivors = append(survivors, sb)
@@ -280,6 +295,11 @@ func (v *Volume) degradedReadPiece(z int, s int64, u int, a, b int64, dst []byte
 // readParityPiece reads intra offsets [a, b) of the parity unit of stripe
 // s, honoring relocated parity.
 func (v *Volume) readParityPiece(z int, s int64, a, b int64, dst []byte, futs *[]subIO) error {
+	return v.readParityPieceSpan(nil, z, s, a, b, dst, futs)
+}
+
+// readParityPieceSpan is readParityPiece with a parent span.
+func (v *Volume) readParityPieceSpan(sp *obs.Span, z int, s int64, a, b int64, dst []byte, futs *[]subIO) error {
 	ss := int64(v.sectorSize)
 	v.relocMu.Lock()
 	if m := v.parityReloc[z]; m != nil {
@@ -297,7 +317,8 @@ func (v *Volume) readParityPiece(z int, s int64, a, b int64, dst []byte, futs *[
 		return ErrInconsistent // double failure
 	}
 	pba := v.lt.parityPBA(z, s) + a
-	*futs = append(*futs, subIO{dev: dev, fut: d.Read(pba, dst)})
+	child := sp.Child(obs.OpDevRead, dev, pba, int64(len(dst)))
+	*futs = append(*futs, subIO{dev: dev, fut: d.ReadSpan(child, pba, dst)})
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package raizn
 
 import (
+	"raizn/internal/obs"
 	"raizn/internal/zns"
 )
 
@@ -32,7 +33,9 @@ func (v *Volume) ResetZone(z int) error {
 	v.drainSubmitsLocked(lz)
 	lz.mu.Unlock()
 
-	err := v.doResetZone(lz)
+	sp := v.tracer.Begin(obs.OpReset, v.lt.zoneStart(z), 0)
+	err := v.doResetZone(sp, lz)
+	sp.End(err)
 
 	lz.mu.Lock()
 	lz.resetting = false
@@ -41,7 +44,7 @@ func (v *Volume) ResetZone(z int) error {
 	return err
 }
 
-func (v *Volume) doResetZone(lz *logicalZone) error {
+func (v *Volume) doResetZone(sp *obs.Span, lz *logicalZone) error {
 	z := lz.idx
 	gen := v.Generation(z)
 
@@ -67,7 +70,8 @@ func (v *Volume) doResetZone(lz *logicalZone) error {
 			gen:      gen,
 			inline:   encodeResetWAL(z),
 		}
-		fut, _, err := v.md[dev].append(rec, zns.FUA)
+		child := sp.Child(obs.OpMDAppend, dev, rec.startLBA, int64(len(rec.inline)))
+		fut, _, err := v.md[dev].appendSpan(child, rec, zns.FUA)
 		if err != nil {
 			return err
 		}
@@ -82,7 +86,8 @@ func (v *Volume) doResetZone(lz *logicalZone) error {
 	var futs []subIO
 	for i := range v.devs {
 		if d := v.dev(i); d != nil {
-			futs = append(futs, subIO{dev: i, fut: d.ResetZone(z)})
+			child := sp.Child(obs.OpDevReset, i, d.ZoneStart(z), 0)
+			futs = append(futs, subIO{dev: i, fut: d.ResetZoneSpan(child, z)})
 		}
 	}
 	if err := v.awaitSubIOs(futs); err != nil {
@@ -198,7 +203,7 @@ func (v *Volume) FinishZone(z int) error {
 			if v.cfg.ParityMode != PPZRWA {
 				// In ZRWA mode the parity prefix is already in place.
 				img := v.parityImageLocked(buf, []intraInterval{{0, minI64(buf.fill, v.lt.su)}})
-				v.issueDeviceWrite(v.lt.parityDev(z, s), v.lt.parityPBA(z, s), img, 0, 0, true, z, s, &futs, &pending)
+				v.issueDeviceWrite(nil, v.lt.parityDev(z, s), v.lt.parityPBA(z, s), img, 0, 0, true, z, s, &futs, &pending)
 			}
 			delete(lz.active, s)
 			buf.stripe = -1
@@ -216,7 +221,7 @@ func (v *Volume) FinishZone(z int) error {
 	persisted := lz.wp
 	lz.mu.Unlock()
 
-	futs = v.issuePendingMD(pending, futs)
+	futs = v.issuePendingMD(nil, pending, futs)
 	if err := v.awaitSubIOs(futs); err != nil {
 		return err
 	}

@@ -3,6 +3,7 @@ package raizn
 import (
 	"errors"
 
+	"raizn/internal/obs"
 	"raizn/internal/parity"
 	"raizn/internal/zns"
 )
@@ -104,15 +105,19 @@ func (v *Volume) ScrubStripe(z int, s int64, repair bool) (StripeScrubResult, er
 		return skip()
 	}
 
+	// Root span of the scrub request; nil while tracing is disabled.
+	sp := v.tracer.Begin(obs.OpScrub, v.lt.stripeStart(z, s), v.lt.stripeSectors()*int64(v.sectorSize))
+
 	// Read the full stripe: D data units + parity (slot d).
 	ss := int64(v.sectorSize)
 	su := v.lt.su
 	imgs := make([][]byte, v.lt.n)
 	var unreadable []int
 	for u := 0; u <= v.lt.d; u++ {
-		img, err := v.readUnitImage(z, s, u, su)
+		img, err := v.readUnitImage(sp, z, s, u, su)
 		if err != nil {
 			if v.Generation(z) != gen0 {
+				sp.End(nil)
 				return skip() // the zone was reset under us
 			}
 			if errors.Is(err, zns.ErrReadMedium) {
@@ -120,12 +125,15 @@ func (v *Volume) ScrubStripe(z int, s int64, repair bool) (StripeScrubResult, er
 				res.ReadErrors++
 				continue
 			}
+			sp.End(err)
 			return res, err
 		}
 		imgs[u] = img
 		res.BytesRead += su * ss
 	}
+	sp.Mark(obs.PhasePlan)
 	if v.Generation(z) != gen0 {
+		sp.End(nil)
 		return skip()
 	}
 
@@ -142,11 +150,13 @@ func (v *Volume) ScrubStripe(z int, s int64, repair bool) (StripeScrubResult, er
 		v.stats.scrubMismatches.Add(1)
 		v.stats.scrubUnrepaired.Add(1)
 	}
+	sp.Mark(obs.PhaseCompute)
 
 	if res.Verified {
 		v.stats.scrubbedStripes.Add(1)
 		v.setScrubPos(z, s)
 	}
+	sp.End(nil)
 	return res, nil
 }
 
@@ -350,5 +360,5 @@ func (v *Volume) relocateRepairedUnit(z int, s int64, u int, data []byte) error 
 		lba = v.lt.stripeStart(z, s) + int64(u)*v.lt.su
 	}
 	p := v.relocationRecord(dev, data, lba, isParity, z, s)
-	return v.awaitSubIOs(v.issuePendingMD([]pendingMD{p}, nil))
+	return v.awaitSubIOs(v.issuePendingMD(nil, []pendingMD{p}, nil))
 }

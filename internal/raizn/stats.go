@@ -1,6 +1,6 @@
 package raizn
 
-import "sync/atomic"
+import "raizn/internal/obs"
 
 // Stats are lifetime volume counters, useful for write-amplification
 // analysis and for verifying which mechanisms a workload exercises.
@@ -28,31 +28,60 @@ type Stats struct {
 	ScrubUnrepaired     int64 // mismatched stripes scrub could not attribute/repair
 }
 
-// statsCounters is embedded in Volume; all fields are updated atomically.
+// statsCounters is embedded in Volume. Every field is a registry-backed
+// counter (an atomic add on the hot path), so the same numbers are
+// visible both through the legacy Stats() view and through registry
+// snapshots/exports under their raizn_* names.
 type statsCounters struct {
-	logicalWriteBytes atomic.Int64
-	logicalReadBytes  atomic.Int64
-	partialParityLogs atomic.Int64
-	zrwaParityWrites  atomic.Int64
-	fullParityWrites  atomic.Int64
-	relocations       atomic.Int64
-	zoneResets        atomic.Int64
-	metadataGCs       atomic.Int64
-	degradedReads     atomic.Int64
+	logicalWriteBytes *obs.Counter
+	logicalReadBytes  *obs.Counter
+	partialParityLogs *obs.Counter
+	zrwaParityWrites  *obs.Counter
+	fullParityWrites  *obs.Counter
+	relocations       *obs.Counter
+	zoneResets        *obs.Counter
+	metadataGCs       *obs.Counter
+	degradedReads     *obs.Counter
 
-	coalescedSubWrites atomic.Int64
+	coalescedSubWrites *obs.Counter
 
-	checksumRecords     atomic.Int64
-	readErrorRepairs    atomic.Int64
-	scrubbedStripes     atomic.Int64
-	scrubSkippedStripes atomic.Int64
-	scrubMismatches     atomic.Int64
-	scrubRepairedData   atomic.Int64
-	scrubRepairedParity atomic.Int64
-	scrubUnrepaired     atomic.Int64
+	checksumRecords     *obs.Counter
+	readErrorRepairs    *obs.Counter
+	scrubbedStripes     *obs.Counter
+	scrubSkippedStripes *obs.Counter
+	scrubMismatches     *obs.Counter
+	scrubRepairedData   *obs.Counter
+	scrubRepairedParity *obs.Counter
+	scrubUnrepaired     *obs.Counter
 }
 
-// Stats returns a snapshot of the volume's lifetime counters.
+func newStatsCounters(r *obs.Registry) statsCounters {
+	return statsCounters{
+		logicalWriteBytes: r.Counter("raizn_logical_write_bytes"),
+		logicalReadBytes:  r.Counter("raizn_logical_read_bytes"),
+		partialParityLogs: r.Counter("raizn_partial_parity_logs_total"),
+		zrwaParityWrites:  r.Counter("raizn_zrwa_parity_writes_total"),
+		fullParityWrites:  r.Counter("raizn_full_parity_writes_total"),
+		relocations:       r.Counter("raizn_relocations_total"),
+		zoneResets:        r.Counter("raizn_zone_resets_total"),
+		metadataGCs:       r.Counter("raizn_metadata_gcs_total"),
+		degradedReads:     r.Counter("raizn_degraded_reads_total"),
+
+		coalescedSubWrites: r.Counter("raizn_coalesced_sub_writes_total"),
+
+		checksumRecords:     r.Counter("raizn_checksum_records_total"),
+		readErrorRepairs:    r.Counter("raizn_read_error_repairs_total"),
+		scrubbedStripes:     r.Counter("raizn_scrubbed_stripes_total"),
+		scrubSkippedStripes: r.Counter("raizn_scrub_skipped_stripes_total"),
+		scrubMismatches:     r.Counter("raizn_scrub_mismatches_total"),
+		scrubRepairedData:   r.Counter("raizn_scrub_repaired_data_total"),
+		scrubRepairedParity: r.Counter("raizn_scrub_repaired_parity_total"),
+		scrubUnrepaired:     r.Counter("raizn_scrub_unrepaired_total"),
+	}
+}
+
+// Stats returns a snapshot of the volume's lifetime counters. It is a
+// thin view over the registry-backed counters.
 func (v *Volume) Stats() Stats {
 	return Stats{
 		LogicalWriteBytes: v.stats.logicalWriteBytes.Load(),

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"hash/crc32"
 
+	"raizn/internal/obs"
 	"raizn/internal/parity"
 	"raizn/internal/vclock"
 	"raizn/internal/zns"
@@ -55,6 +56,9 @@ func (v *Volume) SubmitWrite(lba int64, data []byte, flags zns.Flag) *vclock.Fut
 		return v.clk.Completed(ErrReadOnly)
 	}
 
+	// Root span of the request; nil (and free) while tracing is disabled.
+	sp := v.tracer.Begin(obs.OpWrite, lba, int64(len(data)))
+
 	lz := v.zones[z]
 	lz.mu.Lock()
 	for lz.resetting {
@@ -62,36 +66,40 @@ func (v *Volume) SubmitWrite(lba int64, data []byte, flags zns.Flag) *vclock.Fut
 	}
 	if lz.state == zns.ZoneFull {
 		lz.mu.Unlock()
+		sp.End(ErrZoneFull)
 		return v.clk.Completed(ErrZoneFull)
 	}
 	if off != lz.wp {
 		lz.mu.Unlock()
+		sp.End(ErrNotSequential)
 		return v.clk.Completed(ErrNotSequential)
 	}
 	if lz.state == zns.ZoneEmpty || lz.state == zns.ZoneClosed {
 		if err := v.openZoneSlot(lz); err != nil {
 			lz.mu.Unlock()
+			sp.End(err)
 			return v.clk.Completed(err)
 		}
 	}
 	lz.wp = off + nSectors
 	// runWrite unlocks lz.mu.
-	return v.runWrite(lz, off, data, flags)
+	return v.runWrite(sp, lz, off, data, flags)
 }
 
 // runWrite carries a validated, range-claimed write through issue and
 // completion. Caller holds lz.mu (with lz.wp already advanced); runWrite
 // releases it.
-func (v *Volume) runWrite(lz *logicalZone, off int64, data []byte, flags zns.Flag) *vclock.Future {
+func (v *Volume) runWrite(sp *obs.Span, lz *logicalZone, off int64, data []byte, flags zns.Flag) *vclock.Future {
 	end := off + int64(len(data))/int64(v.sectorSize)
 	full := end == v.lt.zoneSectors()
 	v.stats.logicalWriteBytes.Add(int64(len(data)))
 
 	if v.cfg.LegacyWritePath {
-		return v.runWriteLegacy(lz, off, end, full, data, flags)
+		return v.runWriteLegacy(sp, lz, off, end, full, data, flags)
 	}
 
 	ws := v.getWriteState()
+	ws.sp = sp
 	ws.z = lz.idx
 	ws.flags = flags
 	ws.end = end
@@ -106,8 +114,10 @@ func (v *Volume) runWrite(lz *logicalZone, off int64, data []byte, flags zns.Fla
 
 	planErr := v.planWriteLocked(ws, lz, off, data)
 	lz.mu.Unlock()
+	sp.Mark(obs.PhasePlan)
 
 	v.computeWrite(ws)
+	sp.Mark(obs.PhaseCompute)
 
 	lz.mu.Lock()
 	for lz.submitHead != ws.ticket-1 {
@@ -116,7 +126,8 @@ func (v *Volume) runWrite(lz *logicalZone, off int64, data []byte, flags zns.Fla
 	v.submitWriteLocked(ws, lz, planErr == nil)
 	lz.mu.Unlock()
 
-	ws.futs = v.issuePendingMD(ws.pending, ws.futs)
+	ws.futs = v.issuePendingMD(sp, ws.pending, ws.futs)
+	sp.Mark(obs.PhaseSubmit)
 
 	if planErr != nil {
 		// Mirror the legacy path: sub-IOs already issued are left to
@@ -126,6 +137,7 @@ func (v *Volume) runWrite(lz *logicalZone, off int64, data []byte, flags zns.Fla
 			_ = v.awaitSubIOs(ws.futs)
 			v.putWriteState(ws)
 		})
+		sp.End(planErr)
 		return v.clk.Completed(planErr)
 	}
 
@@ -140,16 +152,19 @@ func (v *Volume) runWrite(lz *logicalZone, off int64, data []byte, flags zns.Fla
 			v.readOnly = true
 			v.mu.Unlock()
 			v.putWriteState(ws)
+			sp.End(err)
 			result.Complete(err)
 			return
 		}
 		v.putWriteState(ws)
 		if flags&(zns.FUA|zns.Preflush) != 0 {
 			if err := v.persistUpTo(lz, end); err != nil {
+				sp.End(err)
 				result.Complete(err)
 				return
 			}
 		}
+		sp.End(nil)
 		result.Complete(nil)
 	})
 	return result
@@ -188,6 +203,7 @@ type ppTask struct {
 // writeState carries one logical write through its phases. States are
 // pooled per volume; every slice is reused across writes.
 type writeState struct {
+	sp     *obs.Span // request root span; nil while tracing is disabled
 	z      int
 	flags  zns.Flag
 	end    int64
@@ -241,6 +257,7 @@ func (v *Volume) putWriteState(ws *writeState) {
 	for i := range ws.segs {
 		ws.segs[i] = nil
 	}
+	ws.sp = nil
 	v.wsPool.Put(ws)
 }
 
@@ -531,7 +548,8 @@ func (v *Volume) submitWriteLocked(ws *writeState, lz *logicalZone, ok bool) {
 				// submission order matches plan order.
 				segs = v.flushRun(ws, d, dev, runStart, segs)
 				v.stats.zrwaParityWrites.Add(1)
-				ws.futs = append(ws.futs, subIO{dev: dev, fut: d.WriteZRWA(pba, data, ws.flags)})
+				child := ws.sp.Child(obs.OpDevWrite, dev, pba, int64(len(data)))
+				ws.futs = append(ws.futs, subIO{dev: dev, fut: d.WriteZRWASpan(child, pba, data, ws.flags)})
 				continue
 			}
 			if len(segs) > 0 && pba == runNext {
@@ -583,10 +601,16 @@ func (v *Volume) flushRun(ws *writeState, d *zns.Device, dev int, start int64, s
 	case 0:
 		return segs
 	case 1:
-		ws.futs = append(ws.futs, subIO{dev: dev, fut: d.Write(start, segs[0], ws.flags)})
+		child := ws.sp.Child(obs.OpDevWrite, dev, start, int64(len(segs[0])))
+		ws.futs = append(ws.futs, subIO{dev: dev, fut: d.WriteSpan(child, start, segs[0], ws.flags)})
 	default:
 		v.stats.coalescedSubWrites.Add(int64(len(segs) - 1))
-		ws.futs = append(ws.futs, subIO{dev: dev, fut: d.Writev(start, segs, ws.flags)})
+		var bytes int64
+		for _, s := range segs {
+			bytes += int64(len(s))
+		}
+		child := ws.sp.Child(obs.OpDevWrite, dev, start, bytes)
+		ws.futs = append(ws.futs, subIO{dev: dev, fut: d.WritevSpan(child, start, segs, ws.flags)})
 	}
 	return segs[:0]
 }
@@ -637,8 +661,8 @@ type pendingMD struct {
 
 // issuePendingMD performs the deferred metadata appends, appending their
 // completion futures to futs. The device table is loaded once for the
-// whole batch.
-func (v *Volume) issuePendingMD(pending []pendingMD, futs []subIO) []subIO {
+// whole batch. Each append gets an OpMDAppend child of sp.
+func (v *Volume) issuePendingMD(sp *obs.Span, pending []pendingMD, futs []subIO) []subIO {
 	if len(pending) == 0 {
 		return futs
 	}
@@ -649,15 +673,17 @@ func (v *Volume) issuePendingMD(pending []pendingMD, futs []subIO) []subIO {
 		if m == nil {
 			continue // device failed: degraded
 		}
+		child := sp.Child(obs.OpMDAppend, p.dev, p.rec.startLBA, int64(len(p.rec.payload)+len(p.rec.inline)))
 		var fut *vclock.Future
 		var pba int64
 		var err error
 		if p.useMeta {
-			fut, pba, err = m.appendMeta(p.rec, p.flags)
+			fut, pba, err = m.appendMetaSpan(child, p.rec, p.flags)
 		} else {
-			fut, pba, err = m.append(p.rec, p.flags)
+			fut, pba, err = m.appendSpan(child, p.rec, p.flags)
 		}
 		if err != nil {
+			child.End(err)
 			if errors.Is(err, zns.ErrDeviceFailed) {
 				v.noteDeviceError(p.dev, err)
 				continue
@@ -755,7 +781,7 @@ func (v *Volume) stripeBufferLocked(lz *logicalZone, s int64, expectFill int64) 
 // was burned by a crash (below the physical write pointer and thus
 // immutable, §5.2). Failed devices are skipped (degraded write). Used by
 // the legacy write path and the zone-seal path in FinishZone.
-func (v *Volume) issueDeviceWrite(dev int, pba int64, data []byte, flags zns.Flag, lba int64, isParity bool, z int, s int64, futs *[]subIO, pending *[]pendingMD) {
+func (v *Volume) issueDeviceWrite(sp *obs.Span, dev int, pba int64, data []byte, flags zns.Flag, lba int64, isParity bool, z int, s int64, futs *[]subIO, pending *[]pendingMD) {
 	d := v.devForZone(dev, z)
 	if d == nil {
 		return
@@ -775,7 +801,8 @@ func (v *Volume) issueDeviceWrite(dev int, pba int64, data []byte, flags zns.Fla
 			return
 		}
 	}
-	fut := d.Write(pba, data, flags)
+	child := sp.Child(obs.OpDevWrite, dev, pba, int64(len(data)))
+	fut := d.WriteSpan(child, pba, data, flags)
 	*futs = append(*futs, subIO{dev: dev, fut: fut})
 }
 
@@ -948,6 +975,7 @@ func (v *Volume) persistUpTo(lz *logicalZone, end int64) error {
 // SubmitFlush flushes every device; once complete, all previously
 // completed writes are durable.
 func (v *Volume) SubmitFlush() *vclock.Future {
+	sp := v.tracer.Begin(obs.OpFlush, 0, 0)
 	// Snapshot submitted logical write pointers for the persistence
 	// bitmaps: data claimed but not yet on the devices (a write mid
 	// submission) is not covered by this flush.
@@ -960,12 +988,15 @@ func (v *Volume) SubmitFlush() *vclock.Future {
 	var futs []subIO
 	for i := range v.devs {
 		if d := v.dev(i); d != nil {
-			futs = append(futs, subIO{dev: i, fut: d.Flush()})
+			child := sp.Child(obs.OpDevFlush, i, 0, 0)
+			futs = append(futs, subIO{dev: i, fut: d.FlushSpan(child)})
 		}
 	}
+	sp.Mark(obs.PhaseSubmit)
 	result := v.clk.NewFuture()
 	v.clk.Go(func() {
 		if err := v.awaitSubIOs(futs); err != nil {
+			sp.End(err)
 			result.Complete(err)
 			return
 		}
@@ -976,6 +1007,7 @@ func (v *Volume) SubmitFlush() *vclock.Future {
 			}
 			lz.mu.Unlock()
 		}
+		sp.End(nil)
 		result.Complete(nil)
 	})
 	return result

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"raizn/internal/obs"
 	"raizn/internal/vclock"
 	"raizn/internal/zns"
 )
@@ -138,21 +139,51 @@ func diffStats(t *testing.T, what string, coalesced, legacy Stats) {
 	}
 }
 
+// devWriteSpanStats walks every retained root span and totals the
+// device-write sub-spans: count is how many dev-write commands were
+// traced; merged is how many sub-IOs vectored commands absorbed (a
+// dev-write span carrying k scatter-gather segments saved k-1 commands),
+// which must equal the CoalescedSubWrites counter when the tracer
+// covered the whole workload.
+func devWriteSpanStats(roots []*obs.Span) (count, merged int64) {
+	var walk func(s *obs.Span)
+	walk = func(s *obs.Span) {
+		if s.Op == obs.OpDevWrite {
+			count++
+			if n := s.Segs(); n > 1 {
+				merged += int64(n - 1)
+			}
+		}
+		for _, c := range s.Children() {
+			walk(c)
+		}
+	}
+	for _, s := range roots {
+		walk(s)
+	}
+	return count, merged
+}
+
 // TestWritePathDifferentialConcurrent races one pipelined writer per
 // zone on both paths and demands identical logical outcomes.
 func TestWritePathDifferentialConcurrent(t *testing.T) {
 	var snaps [2]volSnapshot
 	var stats [2]Stats
+	var spanCount, spanMerged [2]int64
 	for i, cfg := range []Config{DefaultConfig(), legacyConfig()} {
 		i, cfg := i, cfg
 		c := vclock.New()
 		c.Run(func() {
 			devs := newTestDevices(c, 5)
+			tr := obs.NewTracer(c, obs.Config{})
+			tr.Enable()
+			cfg.Tracer = tr
 			v, err := Create(c, devs, cfg)
 			if err != nil {
 				t.Fatalf("Create: %v", err)
 			}
 			runDiffWorkload(t, c, v, true, true)
+			spanCount[i], spanMerged[i] = devWriteSpanStats(tr.Snapshot())
 			snaps[i] = snapshotVolume(t, v)
 			stats[i] = v.Stats()
 
@@ -175,6 +206,23 @@ func TestWritePathDifferentialConcurrent(t *testing.T) {
 	}
 	if stats[1].CoalescedSubWrites != 0 {
 		t.Errorf("legacy path reported %d coalesced sub-IOs", stats[1].CoalescedSubWrites)
+	}
+	// The traced sub-IO view must agree with the counters on both paths:
+	// segment counts recorded on dev-write spans account for exactly the
+	// sub-IOs the stat says were merged, and the legacy path's per-sub-IO
+	// commands show up as strictly more (uncoalesced) dev-write spans.
+	for i, what := range []string{"coalesced", "legacy"} {
+		if spanCount[i] == 0 {
+			t.Errorf("%s: no dev-write spans traced", what)
+		}
+		if spanMerged[i] != stats[i].CoalescedSubWrites {
+			t.Errorf("%s: span segment surplus %d != CoalescedSubWrites %d",
+				what, spanMerged[i], stats[i].CoalescedSubWrites)
+		}
+	}
+	if spanCount[1] != spanCount[0]+stats[0].CoalescedSubWrites {
+		t.Errorf("legacy traced %d dev-writes, want coalesced %d + merged %d",
+			spanCount[1], spanCount[0], stats[0].CoalescedSubWrites)
 	}
 }
 
@@ -320,6 +368,7 @@ func TestWritePathDifferentialDegradedAndScrub(t *testing.T) {
 func TestWritePathDifferentialZRWA(t *testing.T) {
 	var snaps [2]volSnapshot
 	var stats [2]Stats
+	var spanMerged [2]int64
 	for i, legacy := range []bool{false, true} {
 		i, legacy := i, legacy
 		c := vclock.New()
@@ -331,6 +380,9 @@ func TestWritePathDifferentialZRWA(t *testing.T) {
 			cfg := DefaultConfig()
 			cfg.ParityMode = PPZRWA
 			cfg.LegacyWritePath = legacy
+			tr := obs.NewTracer(c, obs.Config{})
+			tr.Enable()
+			cfg.Tracer = tr
 			v, err := Create(c, devs, cfg)
 			if err != nil {
 				t.Fatalf("Create: %v", err)
@@ -340,12 +392,19 @@ func TestWritePathDifferentialZRWA(t *testing.T) {
 			// simulated device then (correctly) refuses further ZRWA
 			// rewrites once the zone is at capacity.
 			runDiffWorkload(t, c, v, false, true)
+			_, spanMerged[i] = devWriteSpanStats(tr.Snapshot())
 			snaps[i] = snapshotVolume(t, v)
 			stats[i] = v.Stats()
 		})
 	}
 	compareSnapshots(t, "zrwa", snaps[0], snaps[1])
 	diffStats(t, "zrwa", stats[0], stats[1])
+	for i, what := range []string{"coalesced", "legacy"} {
+		if spanMerged[i] != stats[i].CoalescedSubWrites {
+			t.Errorf("zrwa %s: span segment surplus %d != CoalescedSubWrites %d",
+				what, spanMerged[i], stats[i].CoalescedSubWrites)
+		}
+	}
 	if stats[0].ZRWAParityWrites != stats[1].ZRWAParityWrites {
 		t.Errorf("ZRWAParityWrites differ: coalesced %d, legacy %d",
 			stats[0].ZRWAParityWrites, stats[1].ZRWAParityWrites)

@@ -1,6 +1,7 @@
 package raizn
 
 import (
+	"raizn/internal/obs"
 	"raizn/internal/parity"
 	"raizn/internal/vclock"
 	"raizn/internal/zns"
@@ -15,8 +16,8 @@ import (
 // runWriteLegacy is the uncoalesced equivalent of the plan/compute/submit
 // pipeline. Caller holds lz.mu (with lz.wp already advanced); the call
 // releases it.
-func (v *Volume) runWriteLegacy(lz *logicalZone, off, end int64, full bool, data []byte, flags zns.Flag) *vclock.Future {
-	futs, pending, err := v.issueWriteLocked(lz, off, data, flags)
+func (v *Volume) runWriteLegacy(sp *obs.Span, lz *logicalZone, off, end int64, full bool, data []byte, flags zns.Flag) *vclock.Future {
+	futs, pending, err := v.issueWriteLocked(sp, lz, off, data, flags)
 	if end > lz.submittedWP {
 		lz.submittedWP = end
 	}
@@ -25,9 +26,11 @@ func (v *Volume) runWriteLegacy(lz *logicalZone, off, end int64, full bool, data
 	}
 	lz.mu.Unlock()
 	if err != nil {
+		sp.End(err)
 		return v.clk.Completed(err)
 	}
-	futs = v.issuePendingMD(pending, futs)
+	futs = v.issuePendingMD(sp, pending, futs)
+	sp.Mark(obs.PhaseSubmit)
 
 	result := v.clk.NewFuture()
 	v.clk.Go(func() {
@@ -35,15 +38,18 @@ func (v *Volume) runWriteLegacy(lz *logicalZone, off, end int64, full bool, data
 			v.mu.Lock()
 			v.readOnly = true
 			v.mu.Unlock()
+			sp.End(err)
 			result.Complete(err)
 			return
 		}
 		if flags&(zns.FUA|zns.Preflush) != 0 {
 			if err := v.persistUpTo(lz, end); err != nil {
+				sp.End(err)
 				result.Complete(err)
 				return
 			}
 		}
+		sp.End(nil)
 		result.Complete(nil)
 	})
 	return result
@@ -52,7 +58,7 @@ func (v *Volume) runWriteLegacy(lz *logicalZone, off, end int64, full bool, data
 // issueWriteLocked splits [off, off+len) of zone lz into per-stripe work:
 // buffer the data, issue data sub-IOs, and either full parity (stripe
 // complete) or a partial-parity log record. Caller holds lz.mu.
-func (v *Volume) issueWriteLocked(lz *logicalZone, off int64, data []byte, flags zns.Flag) ([]subIO, []pendingMD, error) {
+func (v *Volume) issueWriteLocked(sp *obs.Span, lz *logicalZone, off int64, data []byte, flags zns.Flag) ([]subIO, []pendingMD, error) {
 	var futs []subIO
 	var pending []pendingMD
 	ss := int64(v.sectorSize)
@@ -75,15 +81,15 @@ func (v *Volume) issueWriteLocked(lz *logicalZone, off int64, data []byte, flags
 		buf.fill = inStripe + n
 
 		// Data sub-IOs, one per touched stripe unit.
-		v.issueDataLocked(lz.idx, s, inStripe, chunk, flags, &futs, &pending)
+		v.issueDataLocked(sp, lz.idx, s, inStripe, chunk, flags, &futs, &pending)
 
 		if buf.fill == stripeSec {
 			// Stripe complete: write the full parity unit and recycle
 			// the buffer.
 			if v.cfg.ParityMode == PPZRWA {
-				v.issueZRWAParityLocked(lz, s, buf, flags, &futs)
+				v.issueZRWAParityLocked(sp, lz, s, buf, flags, &futs)
 			} else {
-				v.issueParityLocked(lz, s, buf, flags, &futs, &pending)
+				v.issueParityLocked(sp, lz, s, buf, flags, &futs, &pending)
 			}
 			v.recordStripeChecksumsLocked(lz, s, buf, &pending)
 			delete(lz.active, s)
@@ -94,7 +100,7 @@ func (v *Volume) issueWriteLocked(lz *logicalZone, off int64, data []byte, flags
 		} else if v.cfg.ParityMode == PPZRWA {
 			// Stripe still partial: update the parity prefix in place
 			// through the random write area (§5.4).
-			v.issueZRWAParityLocked(lz, s, buf, flags, &futs)
+			v.issueZRWAParityLocked(sp, lz, s, buf, flags, &futs)
 		} else {
 			// Stripe still partial: log partial parity for the region
 			// this write affected (§5.1).
@@ -111,7 +117,7 @@ func (v *Volume) issueWriteLocked(lz *logicalZone, off int64, data []byte, flags
 
 // issueDataLocked writes the data chunk covering zone-relative stripe
 // offsets [inStripe, inStripe+len) of stripe s to the owning devices.
-func (v *Volume) issueDataLocked(z int, s, inStripe int64, chunk []byte, flags zns.Flag, futs *[]subIO, pending *[]pendingMD) {
+func (v *Volume) issueDataLocked(sp *obs.Span, z int, s, inStripe int64, chunk []byte, flags zns.Flag, futs *[]subIO, pending *[]pendingMD) {
 	ss := int64(v.sectorSize)
 	for len(chunk) > 0 {
 		u := int(inStripe / v.lt.su)
@@ -123,7 +129,7 @@ func (v *Volume) issueDataLocked(z int, s, inStripe int64, chunk []byte, flags z
 		dev := v.lt.dataDev(z, s, u)
 		pba := int64(z)*v.lt.physZoneSize + s*v.lt.su + intra
 		lbaStart := v.lt.zoneStart(z) + s*v.lt.stripeSectors() + inStripe
-		v.issueDeviceWrite(dev, pba, chunk[:n*ss], flags, lbaStart, false, z, s, futs, pending)
+		v.issueDeviceWrite(sp, dev, pba, chunk[:n*ss], flags, lbaStart, false, z, s, futs, pending)
 		chunk = chunk[n*ss:]
 		inStripe += n
 	}
@@ -131,7 +137,7 @@ func (v *Volume) issueDataLocked(z int, s, inStripe int64, chunk []byte, flags z
 
 // issueParityLocked computes and writes the full parity unit of a
 // completed stripe from its buffer.
-func (v *Volume) issueParityLocked(lz *logicalZone, s int64, buf *stripeBuffer, flags zns.Flag, futs *[]subIO, pending *[]pendingMD) {
+func (v *Volume) issueParityLocked(sp *obs.Span, lz *logicalZone, s int64, buf *stripeBuffer, flags zns.Flag, futs *[]subIO, pending *[]pendingMD) {
 	ss := int64(v.sectorSize)
 	suBytes := v.lt.su * ss
 	units := make([][]byte, v.lt.d)
@@ -141,7 +147,7 @@ func (v *Volume) issueParityLocked(lz *logicalZone, s int64, buf *stripeBuffer, 
 	p := parity.Encode(units...)
 	dev := v.lt.parityDev(lz.idx, s)
 	v.stats.fullParityWrites.Add(1)
-	v.issueDeviceWrite(dev, v.lt.parityPBA(lz.idx, s), p, flags, 0, true, lz.idx, s, futs, pending)
+	v.issueDeviceWrite(sp, dev, v.lt.parityPBA(lz.idx, s), p, flags, 0, true, lz.idx, s, futs, pending)
 }
 
 // partialParityLocked builds the partial-parity log record for a write

@@ -1,0 +1,26 @@
+package scrub
+
+import "raizn/internal/obs"
+
+// RegisterMetrics publishes the scrubber's lifetime totals into the
+// registry as pull-style gauges under the scrub_ prefix. The gauge
+// funcs take s.mu at snapshot time, so snapshots must not be taken
+// from code holding the scrubber lock.
+func (s *Scrubber) RegisterMetrics(r *obs.Registry) {
+	locked := func(f func() int64) func() int64 {
+		return func() int64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return f()
+		}
+	}
+	r.GaugeFunc("scrub_passes_total", locked(func() int64 { return s.passes }))
+	r.GaugeFunc("scrub_verified_stripes_total", locked(func() int64 { return s.totals.Stripes }))
+	r.GaugeFunc("scrub_skipped_stripes_total", locked(func() int64 { return s.totals.Skipped }))
+	r.GaugeFunc("scrub_mismatches_total", locked(func() int64 { return s.totals.Mismatches }))
+	r.GaugeFunc("scrub_repaired_data_total", locked(func() int64 { return s.totals.RepairedData }))
+	r.GaugeFunc("scrub_repaired_parity_total", locked(func() int64 { return s.totals.RepairedParity }))
+	r.GaugeFunc("scrub_read_errors_total", locked(func() int64 { return s.totals.ReadErrors }))
+	r.GaugeFunc("scrub_unrepaired_total", locked(func() int64 { return s.totals.Unrepaired }))
+	r.GaugeFunc("scrub_bytes_read_total", locked(func() int64 { return s.scannedAll }))
+}

@@ -125,10 +125,24 @@ func (h *Histogram) Percentile(p float64) time.Duration {
 	for i, c := range h.counts {
 		cum += c
 		if cum >= rank {
-			return bucketValue(i)
+			return h.clampLocked(bucketValue(i))
 		}
 	}
 	return h.max
+}
+
+// clampLocked bounds a bucket's representative value to the observed
+// range: the geometric midpoint of the rank bucket can fall outside
+// [min, max] (e.g. a single observation near a bucket edge), and a
+// percentile must never report a value no observation could have had.
+func (h *Histogram) clampLocked(v time.Duration) time.Duration {
+	if v < h.min {
+		return h.min
+	}
+	if v > h.max {
+		return h.max
+	}
+	return v
 }
 
 // Reset discards all observations.

@@ -65,6 +65,40 @@ func TestHistogramPercentiles(t *testing.T) {
 	}
 }
 
+func TestHistogramPercentileWithinRange(t *testing.T) {
+	// Regression: Percentile used to return the rank bucket's geometric
+	// midpoint unclamped, which for a single observation near a bucket
+	// edge could fall below Min (or above Max) — an impossible value.
+	h := NewHistogram()
+	h.Record(100 * time.Microsecond)
+	for p := 1.0; p <= 99; p++ {
+		v := h.Percentile(p)
+		if v < h.Min() || v > h.Max() {
+			t.Fatalf("p%.0f = %v outside observed range [%v, %v]", p, v, h.Min(), h.Max())
+		}
+	}
+
+	// Property: holds for any input set, not just single observations.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHistogram()
+		n := 1 + rng.Intn(100)
+		for i := 0; i < n; i++ {
+			h.Record(time.Duration(1 + rng.Int63n(int64(time.Minute))))
+		}
+		for p := 1.0; p <= 100; p += 3 {
+			v := h.Percentile(p)
+			if v < h.Min() || v > h.Max() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestHistogramMean(t *testing.T) {
 	h := NewHistogram()
 	h.Record(10 * time.Millisecond)

@@ -3,6 +3,7 @@ package zns
 import (
 	"errors"
 
+	"raizn/internal/obs"
 	"raizn/internal/vclock"
 )
 
@@ -37,32 +38,37 @@ var (
 // overwrite that is lost to power failure reverts to nothing (the zone
 // prefix cut), not to the previous version of the block.
 func (d *Device) WriteZRWA(sector int64, data []byte, flags Flag) *vclock.Future {
+	return d.WriteZRWASpan(nil, sector, data, flags)
+}
+
+// WriteZRWASpan is WriteZRWA with a tracing span.
+func (d *Device) WriteZRWASpan(sp *obs.Span, sector int64, data []byte, flags Flag) *vclock.Future {
 	if d.cfg.ZRWASectors <= 0 {
-		return d.fail(ErrNoZRWA)
+		return d.failSpan(sp, ErrNoZRWA)
 	}
 	if len(data) == 0 || len(data)%d.cfg.SectorSize != 0 {
-		return d.fail(ErrUnaligned)
+		return d.failSpan(sp, ErrUnaligned)
 	}
 	nSectors := int64(len(data) / d.cfg.SectorSize)
 
 	d.mu.Lock()
 	if d.failed {
 		d.mu.Unlock()
-		return d.fail(ErrDeviceFailed)
+		return d.failSpan(sp, ErrDeviceFailed)
 	}
 	z, off, err := d.checkSpan(sector, nSectors)
 	if err != nil {
 		d.mu.Unlock()
-		return d.fail(err)
+		return d.failSpan(sp, err)
 	}
 	zo := &d.zones[z]
 	switch zo.state {
 	case ZoneFull:
 		d.mu.Unlock()
-		return d.fail(ErrZoneFull)
+		return d.failSpan(sp, ErrZoneFull)
 	case ZoneReadOnly, ZoneOffline:
 		d.mu.Unlock()
-		return d.fail(ErrZoneUnavailable)
+		return d.failSpan(sp, ErrZoneUnavailable)
 	}
 	// The write must start within (or at the end of) the window.
 	lo := zo.wp - d.cfg.ZRWASectors
@@ -71,11 +77,11 @@ func (d *Device) WriteZRWA(sector int64, data []byte, flags Flag) *vclock.Future
 	}
 	if off < lo || off > zo.wp {
 		d.mu.Unlock()
-		return d.fail(ErrOutsideZRWA)
+		return d.failSpan(sp, ErrOutsideZRWA)
 	}
 	if err := d.transitionToOpenLocked(z); err != nil {
 		d.mu.Unlock()
-		return d.fail(err)
+		return d.failSpan(sp, err)
 	}
 	if !d.cfg.DiscardData {
 		if zo.data == nil {
@@ -93,14 +99,18 @@ func (d *Device) WriteZRWA(sector int64, data []byte, flags Flag) *vclock.Future
 	d.writeCmds++
 
 	now := d.clk.Now()
-	occ := d.cfg.WriteOpOverhead + d.xferTime(len(data), d.cfg.WriteBandwidth)
-	done := reservePipe(&d.writeBusy, now, occ) + d.cfg.WriteLatency
+	occ := d.slowLocked(d.cfg.WriteOpOverhead + d.xferTime(len(data), d.cfg.WriteBandwidth))
+	sp.SetSegs(1)
+	markPipe(sp, d.writeBusy, now)
+	media := reservePipe(&d.writeBusy, now, occ)
+	sp.MarkAt(obs.PhaseMedia, media)
+	done := media + d.cfg.WriteLatency
 	epoch := d.epoch
 	d.mu.Unlock()
 
 	fut := d.clk.NewFuture()
 	fua := flags&FUA != 0
-	d.schedule(fut, done, epoch, nil, func() {
+	d.schedule(sp, fut, done, epoch, nil, func() {
 		if fua {
 			d.persistZoneLocked(z, end)
 		}
@@ -112,13 +122,18 @@ func (d *Device) WriteZRWA(sector int64, data []byte, flags Flag) *vclock.Future
 // first written sector (the record-header use case). meta must fit the
 // configured MetaBytes.
 func (d *Device) AppendMeta(z int, data, meta []byte, flags Flag) (int64, *vclock.Future) {
+	return d.AppendMetaSpan(nil, z, data, meta, flags)
+}
+
+// AppendMetaSpan is AppendMeta with a tracing span.
+func (d *Device) AppendMetaSpan(sp *obs.Span, z int, data, meta []byte, flags Flag) (int64, *vclock.Future) {
 	if d.cfg.MetaBytes <= 0 {
-		return -1, d.fail(ErrNoMeta)
+		return -1, d.failSpan(sp, ErrNoMeta)
 	}
 	if len(meta) > d.cfg.MetaBytes {
-		return -1, d.fail(ErrMetaTooLarge)
+		return -1, d.failSpan(sp, ErrMetaTooLarge)
 	}
-	sector, fut := d.Append(z, data, flags)
+	sector, fut := d.AppendSpan(sp, z, data, flags)
 	if sector < 0 {
 		return sector, fut
 	}

@@ -3,14 +3,16 @@ package zns
 import (
 	"time"
 
+	"raizn/internal/obs"
 	"raizn/internal/vclock"
 )
 
 // schedule arranges for fut to complete with err at absolute virtual time
 // at, applying effect (under the device lock) first — unless the device
 // lost power in the meantime, in which case the IO completes with
-// ErrPowerLoss and the effect is discarded.
-func (d *Device) schedule(fut *vclock.Future, at time.Duration, epoch uint64, err error, effect func()) {
+// ErrPowerLoss and the effect is discarded. The span (nil when tracing
+// is off) is ended with the command's outcome at the same instant.
+func (d *Device) schedule(sp *obs.Span, fut *vclock.Future, at time.Duration, epoch uint64, err error, effect func()) {
 	now := d.clk.Now()
 	delay := at - now
 	d.clk.AfterFunc(delay, func() {
@@ -21,9 +23,11 @@ func (d *Device) schedule(fut *vclock.Future, at time.Duration, epoch uint64, er
 		}
 		d.mu.Unlock()
 		if stale {
+			sp.EndAt(at, ErrPowerLoss)
 			fut.Complete(ErrPowerLoss)
 			return
 		}
+		sp.EndAt(at, err)
 		fut.Complete(err)
 	})
 }
@@ -39,12 +43,42 @@ func reservePipe(busy *time.Duration, now time.Duration, occupancy time.Duration
 	return *busy
 }
 
+// markPipe records when a command will reach the head of a pipe whose
+// busy-until is busy: immediately if the pipe is idle, else when the
+// commands ahead of it drain.
+func markPipe(sp *obs.Span, busy, now time.Duration) {
+	if sp == nil {
+		return
+	}
+	start := now
+	if busy > start {
+		start = busy
+	}
+	sp.MarkAt(obs.PhaseQueue, start)
+}
+
 func (d *Device) xferTime(n int, bw float64) time.Duration {
 	return time.Duration(float64(n) / bw * float64(time.Second))
 }
 
 // fail returns a pre-completed future carrying err.
 func (d *Device) fail(err error) *vclock.Future { return d.clk.Completed(err) }
+
+// failSpan ends the span with an immediate submission error and returns
+// a pre-completed future carrying it.
+func (d *Device) failSpan(sp *obs.Span, err error) *vclock.Future {
+	sp.End(err)
+	return d.fail(err)
+}
+
+// slowLocked inflates a pipe occupancy by the injected slowdown factor
+// (see SetSlowdown). Caller holds d.mu.
+func (d *Device) slowLocked(occ time.Duration) time.Duration {
+	if d.slowFactor > 1 {
+		occ = time.Duration(float64(occ) * d.slowFactor)
+	}
+	return occ
+}
 
 // checkSpan validates that [sector, sector+n) lies inside a single zone's
 // writable capacity and returns the zone index and zone-relative offset.
@@ -70,16 +104,22 @@ func (d *Device) checkSpan(sector int64, nSectors int64) (z int, off int64, err 
 // first; with FUA, the write and all data before it in the same zone are
 // persistent once the future completes.
 func (d *Device) Write(sector int64, data []byte, flags Flag) *vclock.Future {
+	return d.WriteSpan(nil, sector, data, flags)
+}
+
+// WriteSpan is Write with a tracing span: the device marks the span's
+// queue and media phases and ends it when the command completes.
+func (d *Device) WriteSpan(sp *obs.Span, sector int64, data []byte, flags Flag) *vclock.Future {
 	if len(data) == 0 || len(data)%d.cfg.SectorSize != 0 {
-		return d.fail(ErrUnaligned)
+		return d.failSpan(sp, ErrUnaligned)
 	}
 	nSectors := int64(len(data) / d.cfg.SectorSize)
 
 	d.mu.Lock()
-	fut, err := d.writeLocked(sector, nSectors, data, nil, flags)
+	fut, err := d.writeLocked(sp, sector, nSectors, data, nil, flags)
 	d.mu.Unlock()
 	if err != nil {
-		return d.fail(err)
+		return d.failSpan(sp, err)
 	}
 	return fut
 }
@@ -91,25 +131,31 @@ func (d *Device) Write(sector int64, data []byte, flags Flag) *vclock.Future {
 // sub-IO coalescing visible in simulated time. Semantics are otherwise
 // identical to Write of the concatenated payload.
 func (d *Device) Writev(sector int64, segs [][]byte, flags Flag) *vclock.Future {
+	return d.WritevSpan(nil, sector, segs, flags)
+}
+
+// WritevSpan is Writev with a tracing span; the span additionally
+// records the scatter-list segment count.
+func (d *Device) WritevSpan(sp *obs.Span, sector int64, segs [][]byte, flags Flag) *vclock.Future {
 	if len(segs) == 0 {
-		return d.fail(ErrUnaligned)
+		return d.failSpan(sp, ErrUnaligned)
 	}
 	if len(segs) == 1 {
-		return d.Write(sector, segs[0], flags)
+		return d.WriteSpan(sp, sector, segs[0], flags)
 	}
 	var nSectors int64
 	for _, s := range segs {
 		if len(s) == 0 || len(s)%d.cfg.SectorSize != 0 {
-			return d.fail(ErrUnaligned)
+			return d.failSpan(sp, ErrUnaligned)
 		}
 		nSectors += int64(len(s) / d.cfg.SectorSize)
 	}
 
 	d.mu.Lock()
-	fut, err := d.writeLocked(sector, nSectors, nil, segs, flags)
+	fut, err := d.writeLocked(sp, sector, nSectors, nil, segs, flags)
 	d.mu.Unlock()
 	if err != nil {
-		return d.fail(err)
+		return d.failSpan(sp, err)
 	}
 	return fut
 }
@@ -121,20 +167,25 @@ func (d *Device) Writev(sector int64, segs [][]byte, flags Flag) *vclock.Future 
 // processing is serialized, which is strictly less reordering than the
 // spec permits.
 func (d *Device) Append(z int, data []byte, flags Flag) (int64, *vclock.Future) {
+	return d.AppendSpan(nil, z, data, flags)
+}
+
+// AppendSpan is Append with a tracing span.
+func (d *Device) AppendSpan(sp *obs.Span, z int, data []byte, flags Flag) (int64, *vclock.Future) {
 	if len(data) == 0 || len(data)%d.cfg.SectorSize != 0 {
-		return -1, d.fail(ErrUnaligned)
+		return -1, d.failSpan(sp, ErrUnaligned)
 	}
 	if z < 0 || z >= d.cfg.NumZones {
-		return -1, d.fail(ErrOutOfRange)
+		return -1, d.failSpan(sp, ErrOutOfRange)
 	}
 	nSectors := int64(len(data) / d.cfg.SectorSize)
 
 	d.mu.Lock()
 	sector := d.ZoneStart(z) + d.zones[z].wp
-	fut, err := d.writeLocked(sector, nSectors, data, nil, flags)
+	fut, err := d.writeLocked(sp, sector, nSectors, data, nil, flags)
 	d.mu.Unlock()
 	if err != nil {
-		return -1, d.fail(err)
+		return -1, d.failSpan(sp, err)
 	}
 	return sector, fut
 }
@@ -142,7 +193,7 @@ func (d *Device) Append(z int, data []byte, flags Flag) (int64, *vclock.Future) 
 // writeLocked performs validation and state transition for Write, Writev
 // and Append. The payload is either data (single segment) or segs
 // (gathered); exactly one is non-nil. Caller holds d.mu.
-func (d *Device) writeLocked(sector, nSectors int64, data []byte, segs [][]byte, flags Flag) (*vclock.Future, error) {
+func (d *Device) writeLocked(sp *obs.Span, sector, nSectors int64, data []byte, segs [][]byte, flags Flag) (*vclock.Future, error) {
 	if d.failed {
 		return nil, ErrDeviceFailed
 	}
@@ -202,12 +253,23 @@ func (d *Device) writeLocked(sector, nSectors int64, data []byte, segs [][]byte,
 	if flags&Preflush != 0 {
 		occ += d.cfg.FlushLatency
 	}
-	done := reservePipe(&d.writeBusy, now, occ) + d.cfg.WriteLatency
+	occ = d.slowLocked(occ)
+	if sp != nil {
+		nseg := 1
+		if segs != nil {
+			nseg = len(segs)
+		}
+		sp.SetSegs(nseg)
+		markPipe(sp, d.writeBusy, now)
+	}
+	media := reservePipe(&d.writeBusy, now, occ)
+	sp.MarkAt(obs.PhaseMedia, media)
+	done := media + d.cfg.WriteLatency
 
 	epoch := d.epoch
 	fut := d.clk.NewFuture()
 	fua := flags&FUA != 0
-	d.schedule(fut, done, epoch, nil, func() {
+	d.schedule(sp, fut, done, epoch, nil, func() {
 		if flushSnap != nil {
 			d.persistSnapshotLocked(flushSnap)
 		}
@@ -223,29 +285,34 @@ func (d *Device) writeLocked(sector, nSectors int64, data []byte, segs [][]byte,
 // except in full (finished) zones where unwritten sectors read as zeroes
 // (deallocated blocks).
 func (d *Device) Read(sector int64, buf []byte) *vclock.Future {
+	return d.ReadSpan(nil, sector, buf)
+}
+
+// ReadSpan is Read with a tracing span.
+func (d *Device) ReadSpan(sp *obs.Span, sector int64, buf []byte) *vclock.Future {
 	if len(buf) == 0 || len(buf)%d.cfg.SectorSize != 0 {
-		return d.fail(ErrUnaligned)
+		return d.failSpan(sp, ErrUnaligned)
 	}
 	nSectors := int64(len(buf) / d.cfg.SectorSize)
 
 	d.mu.Lock()
 	if d.failed {
 		d.mu.Unlock()
-		return d.fail(ErrDeviceFailed)
+		return d.failSpan(sp, ErrDeviceFailed)
 	}
 	z, off, err := d.checkSpan(sector, nSectors)
 	if err != nil {
 		d.mu.Unlock()
-		return d.fail(err)
+		return d.failSpan(sp, err)
 	}
 	zo := &d.zones[z]
 	if zo.state == ZoneOffline {
 		d.mu.Unlock()
-		return d.fail(ErrZoneUnavailable)
+		return d.failSpan(sp, ErrZoneUnavailable)
 	}
 	if off+nSectors > zo.wp && zo.state != ZoneFull {
 		d.mu.Unlock()
-		return d.fail(ErrReadBeyondWP)
+		return d.failSpan(sp, ErrReadBeyondWP)
 	}
 
 	// Snapshot the payload at submit. Zones are immutable below the
@@ -277,33 +344,43 @@ func (d *Device) Read(sector int64, buf []byte) *vclock.Future {
 	rerr := d.readFaultLocked(sector, nSectors)
 
 	now := d.clk.Now()
-	occ := d.cfg.ReadOpOverhead + d.xferTime(int(nSectors)*d.cfg.SectorSize, d.cfg.ReadBandwidth)
-	done := reservePipe(&d.readBusy, now, occ) + d.cfg.ReadLatency
+	occ := d.slowLocked(d.cfg.ReadOpOverhead + d.xferTime(int(nSectors)*d.cfg.SectorSize, d.cfg.ReadBandwidth))
+	markPipe(sp, d.readBusy, now)
+	media := reservePipe(&d.readBusy, now, occ)
+	sp.MarkAt(obs.PhaseMedia, media)
+	done := media + d.cfg.ReadLatency
 	epoch := d.epoch
 	d.mu.Unlock()
 
 	fut := d.clk.NewFuture()
-	d.schedule(fut, done, epoch, rerr, nil)
+	d.schedule(sp, fut, done, epoch, rerr, nil)
 	return fut
 }
 
 // Flush persists the device's volatile write cache: every write submitted
 // before the flush is durable once the returned future completes.
 func (d *Device) Flush() *vclock.Future {
+	return d.FlushSpan(nil)
+}
+
+// FlushSpan is Flush with a tracing span.
+func (d *Device) FlushSpan(sp *obs.Span) *vclock.Future {
 	d.mu.Lock()
 	if d.failed {
 		d.mu.Unlock()
-		return d.fail(ErrDeviceFailed)
+		return d.failSpan(sp, ErrDeviceFailed)
 	}
 	snap := d.snapshotWPsLocked()
 	now := d.clk.Now()
+	markPipe(sp, d.writeBusy, now)
 	done := reservePipe(&d.writeBusy, now, d.cfg.FlushLatency)
+	sp.MarkAt(obs.PhaseMedia, done)
 	epoch := d.epoch
 	d.flushCount++
 	d.mu.Unlock()
 
 	fut := d.clk.NewFuture()
-	d.schedule(fut, done, epoch, nil, func() { d.persistSnapshotLocked(snap) })
+	d.schedule(sp, fut, done, epoch, nil, func() { d.persistSnapshotLocked(snap) })
 	return fut
 }
 
@@ -354,19 +431,24 @@ func (d *Device) persistZoneLocked(z int, upTo int64) {
 // devices — the case RAIZN must handle — is still fully expressible by
 // resetting a subset of devices before PowerLoss).
 func (d *Device) ResetZone(z int) *vclock.Future {
+	return d.ResetZoneSpan(nil, z)
+}
+
+// ResetZoneSpan is ResetZone with a tracing span.
+func (d *Device) ResetZoneSpan(sp *obs.Span, z int) *vclock.Future {
 	d.mu.Lock()
 	if d.failed {
 		d.mu.Unlock()
-		return d.fail(ErrDeviceFailed)
+		return d.failSpan(sp, ErrDeviceFailed)
 	}
 	if z < 0 || z >= d.cfg.NumZones {
 		d.mu.Unlock()
-		return d.fail(ErrOutOfRange)
+		return d.failSpan(sp, ErrOutOfRange)
 	}
 	zo := &d.zones[z]
 	if zo.state == ZoneReadOnly || zo.state == ZoneOffline {
 		d.mu.Unlock()
-		return d.fail(ErrZoneUnavailable)
+		return d.failSpan(sp, ErrZoneUnavailable)
 	}
 	switch zo.state {
 	case ZoneOpen:
@@ -386,12 +468,14 @@ func (d *Device) ResetZone(z int) *vclock.Future {
 	d.resetCount++
 
 	now := d.clk.Now()
+	markPipe(sp, d.writeBusy, now)
 	done := reservePipe(&d.writeBusy, now, d.cfg.ResetLatency)
+	sp.MarkAt(obs.PhaseMedia, done)
 	epoch := d.epoch
 	d.mu.Unlock()
 
 	fut := d.clk.NewFuture()
-	d.schedule(fut, done, epoch, nil, nil)
+	d.schedule(sp, fut, done, epoch, nil, nil)
 	return fut
 }
 
@@ -399,19 +483,24 @@ func (d *Device) ResetZone(z int) *vclock.Future {
 // capacity. Unwritten sectors subsequently read as zeroes. Finishing also
 // persists the zone's contents.
 func (d *Device) FinishZone(z int) *vclock.Future {
+	return d.FinishZoneSpan(nil, z)
+}
+
+// FinishZoneSpan is FinishZone with a tracing span.
+func (d *Device) FinishZoneSpan(sp *obs.Span, z int) *vclock.Future {
 	d.mu.Lock()
 	if d.failed {
 		d.mu.Unlock()
-		return d.fail(ErrDeviceFailed)
+		return d.failSpan(sp, ErrDeviceFailed)
 	}
 	if z < 0 || z >= d.cfg.NumZones {
 		d.mu.Unlock()
-		return d.fail(ErrOutOfRange)
+		return d.failSpan(sp, ErrOutOfRange)
 	}
 	zo := &d.zones[z]
 	if zo.state == ZoneReadOnly || zo.state == ZoneOffline {
 		d.mu.Unlock()
-		return d.fail(ErrZoneUnavailable)
+		return d.failSpan(sp, ErrZoneUnavailable)
 	}
 	switch zo.state {
 	case ZoneOpen:
@@ -425,11 +514,13 @@ func (d *Device) FinishZone(z int) *vclock.Future {
 	d.persistZoneLocked(z, zo.wp)
 
 	now := d.clk.Now()
+	markPipe(sp, d.writeBusy, now)
 	done := reservePipe(&d.writeBusy, now, d.cfg.FinishLatency)
+	sp.MarkAt(obs.PhaseMedia, done)
 	epoch := d.epoch
 	d.mu.Unlock()
 
 	fut := d.clk.NewFuture()
-	d.schedule(fut, done, epoch, nil, nil)
+	d.schedule(sp, fut, done, epoch, nil, nil)
 	return fut
 }

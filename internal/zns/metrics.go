@@ -1,0 +1,25 @@
+package zns
+
+import "raizn/internal/obs"
+
+// RegisterMetrics publishes the device's lifetime counters into the
+// registry as pull-style gauges under the given prefix (conventionally
+// "zns_dev<i>"). The gauge funcs take d.mu at snapshot time, so
+// snapshots must not be taken while holding the device lock.
+func (d *Device) RegisterMetrics(r *obs.Registry, prefix string) {
+	lockedInt := func(f func() int64) func() int64 {
+		return func() int64 {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			return f()
+		}
+	}
+	r.GaugeFunc(prefix+"_host_write_bytes", lockedInt(func() int64 { return d.hostWriteBytes }))
+	r.GaugeFunc(prefix+"_host_read_bytes", lockedInt(func() int64 { return d.hostReadBytes }))
+	r.GaugeFunc(prefix+"_write_cmds_total", lockedInt(func() int64 { return d.writeCmds }))
+	r.GaugeFunc(prefix+"_flushes_total", lockedInt(func() int64 { return d.flushCount }))
+	r.GaugeFunc(prefix+"_resets_total", lockedInt(func() int64 { return d.resetCount }))
+	r.GaugeFunc(prefix+"_latent_sectors_total", lockedInt(func() int64 { return d.injectedReadErrs }))
+	r.GaugeFunc(prefix+"_bitrot_sectors_total", lockedInt(func() int64 { return d.injectedRot }))
+	r.GaugeFunc(prefix+"_read_medium_errs_total", lockedInt(func() int64 { return d.readMediumErrs }))
+}

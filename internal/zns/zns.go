@@ -230,6 +230,8 @@ type Device struct {
 	writeBusy time.Duration // write pipe busy-until (virtual time)
 	readBusy  time.Duration // read pipe busy-until
 
+	slowFactor float64 // injected service-time multiplier (faults.go); <=1 means none
+
 	meta map[int64][]byte // per-sector logical metadata (ext.go)
 
 	// Fault injection (faults.go).
@@ -428,6 +430,17 @@ func (d *Device) OpenZone(z int) error {
 		return ErrOutOfRange
 	}
 	return d.transitionToOpenLocked(z)
+}
+
+// SetSlowdown injects a service-time multiplier: every subsequent
+// command occupies its pipe factor× longer, modelling a device stalled
+// by internal housekeeping (GC, wear levelling, thermal throttling).
+// factor <= 1 restores normal speed. Used to provoke the slow-IO
+// watchdog deterministically.
+func (d *Device) SetSlowdown(factor float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.slowFactor = factor
 }
 
 // SetZoneState force-sets a zone's failure state (read-only / offline) for
