@@ -27,6 +27,7 @@ func main() {
 	rotSeed := flag.Int64("rot-seed", 1, "seed for corruption placement")
 	doScrub := flag.Bool("scrub", false, "run one repair scrub pass before dumping")
 	trace := flag.Bool("trace", false, "trace a mixed read/write workload: per-phase breakdown, queue-depth timeline, watchdog-flagged slow IOs")
+	zones := flag.Bool("zones", false, "zone-state observability: heatmap, occupancy timeline, lifetime stats, layered WA report")
 	slowDev := flag.Int("slow-dev", 2, "device to slow during the traced workload (with -trace)")
 	slowFactor := flag.Float64("slow-factor", 8, "service-time multiplier applied to -slow-dev (with -trace)")
 	flag.Parse()
@@ -45,6 +46,12 @@ func main() {
 		rcfg.StripeUnitSectors = *su
 		tr := obs.NewTracer(clk, obs.Config{Watchdog: obs.WatchdogConfig{MinSamples: 32}})
 		rcfg.Tracer = tr
+		jrn := obs.NewJournal(clk, obs.JournalConfig{Capacity: 16384})
+		if *zones {
+			// Enable before the first write so lifetime accounting is exact.
+			jrn.Enable()
+			rcfg.Journal = jrn
+		}
 		vol, err := raizn.Create(clk, devs, rcfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -75,6 +82,11 @@ func main() {
 				os.Exit(1)
 			}
 			runTrace(vol, devs, tr, *fillZones, *slowDev, *slowFactor)
+		}
+
+		if *zones {
+			runZones(vol, devs, clk, jrn, *fillZones)
+			return
 		}
 
 		if *rot > 0 && *fillZones > 0 {

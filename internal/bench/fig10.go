@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"raizn/internal/fio"
+	"raizn/internal/obs"
 	"raizn/internal/stats"
 	"raizn/internal/vclock"
 )
@@ -38,10 +39,13 @@ func runGCTimeseries(w io.Writer, quick bool) error {
 		p2steady   float64
 		p2meanLat  time.Duration
 		p2worstLat time.Duration
+		evs        []obs.Event // FTL journal (mdraid stack only)
+		dropped    uint64
 	}
 
 	run := func(stack string) phaseStats {
 		var ps phaseStats
+		var jrn *obs.Journal
 		clk := vclock.New()
 		clk.Run(func() {
 			var tgt fio.Target
@@ -52,9 +56,18 @@ func runGCTimeseries(w io.Writer, quick bool) error {
 				}
 				tgt = fio.RaiznTarget{V: v}
 			} else {
-				v, _, err := newMdraid(clk, sc, true, 16)
+				v, devs, err := newMdraid(clk, sc, true, 16)
 				if err != nil {
 					panic(err)
+				}
+				// Journal the FTLs so the phase-2 table can show the
+				// free-block drain and the device WA climbing as GC
+				// copies valid pages (the cliff's cause, not just its
+				// throughput symptom).
+				jrn = obs.NewJournal(clk, obs.JournalConfig{Capacity: 65536})
+				jrn.Enable()
+				for i, d := range devs {
+					d.AttachJournal(jrn, i)
 				}
 				tgt = fio.MdraidTarget{V: v}
 			}
@@ -88,6 +101,10 @@ func runGCTimeseries(w io.Writer, quick bool) error {
 			}
 			done = true
 		})
+		if jrn != nil {
+			ps.evs = jrn.Events()
+			ps.dropped = jrn.Dropped()
+		}
 		samples := ps.p2.Samples()
 		// Trim the final partial interval.
 		if len(samples) > 2 {
@@ -105,9 +122,10 @@ func runGCTimeseries(w io.Writer, quick bool) error {
 	md := run("mdraid")
 	rz := run("raizn")
 
-	fmt.Fprintln(w, "\nphase 2 (full overwrite) time series, MiB/s:")
-	t := newTable(w, "t(ms)", "mdraid", "raizn")
+	fmt.Fprintln(w, "\nphase 2 (full overwrite) time series, MiB/s (md-free / md-WA from the FTL journal):")
+	t := newTable(w, "t(ms)", "mdraid", "raizn", "md-free", "md-WA")
 	mdS, rzS := md.p2.Samples(), rz.p2.Samples()
+	ftl := newFTLSeries(md.evs)
 	n := len(mdS)
 	if len(rzS) < n {
 		n = len(rzS)
@@ -117,7 +135,16 @@ func runGCTimeseries(w io.Writer, quick bool) error {
 		step = n / 40
 	}
 	for i := 0; i < n; i += step {
-		t.row(fmt.Sprintf("%d", mdS[i].T.Milliseconds()), f1(mdS[i].Throughput), f1(rzS[i].Throughput))
+		free, wa, ok := ftl.at(mdS[i].T)
+		freeS := "-"
+		if ok {
+			freeS = fmt.Sprintf("%d", free)
+		}
+		t.row(fmt.Sprintf("%d", mdS[i].T.Milliseconds()), f1(mdS[i].Throughput), f1(rzS[i].Throughput),
+			freeS, fmt.Sprintf("%.2f", wa))
+	}
+	if md.dropped > 0 {
+		fmt.Fprintf(w, "(FTL journal wrapped: %d oldest events dropped; columns reflect retained events)\n", md.dropped)
 	}
 
 	mdMean := meanTput(mdS)
@@ -129,8 +156,90 @@ func runGCTimeseries(w io.Writer, quick bool) error {
 	if mdMean > 0 {
 		fmt.Fprintf(w, "raizn mean / mdraid mean during the overwrite = %.1fx\n", rzMean/mdMean)
 	}
+	endFree, endWA, ftlOK := ftl.at(1 << 62)
+	if ftlOK {
+		fmt.Fprintf(w, "mdraid FTL at end of run: %d free erase blocks (min across devices), device WA %.2f\n", endFree, endWA)
+	}
 	fmt.Fprintln(w, "paper: mdraid throughput drops up to 93% once FTL GC starts; RAIZN is flat (no on-device GC).")
+
+	if quick {
+		fmt.Fprintf(w, "\nquick run: BENCH_pr5.json not written\n")
+		return nil
+	}
+	rep := &Report{Schema: SchemaV1, Experiment: "fig10"}
+	rep.Cells = []Cell{
+		{Name: "phase2/mdraid", Metrics: map[string]float64{
+			"mean_mib_s":    mdMean,
+			"floor_mib_s":   md.p2min,
+			"ceiling_mib_s": md.p2steady,
+			"drop_pct":      (1 - md.p2min/md.p2steady) * 100,
+		}},
+		{Name: "phase2/raizn", Metrics: map[string]float64{
+			"mean_mib_s":    rzMean,
+			"floor_mib_s":   rz.p2min,
+			"ceiling_mib_s": rz.p2steady,
+			"drop_pct":      (1 - rz.p2min/rz.p2steady) * 100,
+		}},
+		{Name: "ftl/mdraid", Metrics: map[string]float64{
+			"final_free_blocks": float64(endFree),
+			"final_device_wa":   endWA,
+		}},
+	}
+	if err := rep.WriteFile("BENCH_pr5.json"); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nwrote BENCH_pr5.json\n")
 	return nil
+}
+
+// ftlSeries replays a blockdev FTL journal to answer "as of time t":
+// the minimum free-erase-block count across devices (EvBlockAlloc) and
+// the array device-level WA, total flash programs over total host
+// programs (the cumulative counters each EvGC event carries).
+type ftlSeries struct {
+	evs  []obs.Event
+	next int
+	free map[int16]int64
+	gc   map[int16][2]int64 // host pages, total programs
+}
+
+func newFTLSeries(evs []obs.Event) *ftlSeries {
+	return &ftlSeries{evs: evs, free: map[int16]int64{}, gc: map[int16][2]int64{}}
+}
+
+// at advances to virtual time t (monotonically across calls) and
+// returns the min free-block count and device WA. ok is false before
+// the first allocation event.
+func (f *ftlSeries) at(t time.Duration) (minFree int64, wa float64, ok bool) {
+	for f.next < len(f.evs) && f.evs[f.next].T <= t {
+		e := f.evs[f.next]
+		switch e.Type {
+		case obs.EvBlockAlloc:
+			f.free[e.Src] = e.A
+		case obs.EvGC:
+			f.gc[e.Src] = [2]int64{e.C, e.D}
+		}
+		f.next++
+	}
+	wa = 1
+	var host, prog int64
+	for _, g := range f.gc {
+		host += g[0]
+		prog += g[1]
+	}
+	if host > 0 {
+		wa = float64(prog) / float64(host)
+	}
+	if len(f.free) == 0 {
+		return 0, wa, false
+	}
+	minFree = -1
+	for _, v := range f.free {
+		if minFree < 0 || v < minFree {
+			minFree = v
+		}
+	}
+	return minFree, wa, true
 }
 
 // overwriteZoned rewrites the zoned volume zone by zone: reset, then

@@ -192,6 +192,12 @@ type Device struct {
 	gcCopiedPages  int64
 	gcEraseCount   int64
 	flushCount     int64
+
+	// Event journal (AttachJournal); block allocations and GC episodes
+	// record into it under jslot. Nil until attached; Record is
+	// nil-safe and free when disabled.
+	jrn   *obs.Journal
+	jslot int
 }
 
 // NewDevice creates a device with an empty (fully trimmed) FTL. It panics
@@ -335,10 +341,31 @@ func (d *Device) RegisterMetrics(r *obs.Registry, prefix string) {
 	}
 	r.GaugeFunc(prefix+"_host_write_bytes", lockedInt(func() int64 { return d.hostWriteBytes }))
 	r.GaugeFunc(prefix+"_host_read_bytes", lockedInt(func() int64 { return d.hostReadBytes }))
+	r.Help(prefix+"_gc_copied_pages_total", "valid flash pages relocated by FTL garbage collection")
 	r.GaugeFunc(prefix+"_gc_copied_pages_total", lockedInt(func() int64 { return d.gcCopiedPages }))
+	r.Help(prefix+"_gc_erases_total", "erase-block erasures performed by FTL garbage collection")
 	r.GaugeFunc(prefix+"_gc_erases_total", lockedInt(func() int64 { return d.gcEraseCount }))
 	r.GaugeFunc(prefix+"_flushes_total", lockedInt(func() int64 { return d.flushCount }))
+	r.Help(prefix+"_gc_free_blocks", "erase blocks currently on the FTL free list")
+	r.GaugeFunc(prefix+"_gc_free_blocks", lockedInt(func() int64 { return int64(len(d.free)) }))
 	r.GaugeFunc(prefix+"_free_blocks", lockedInt(func() int64 { return int64(len(d.free)) }))
+	r.Help(prefix+"_gc_wa_milli", "device write amplification (total programs / host programs) in thousandths")
+	r.GaugeFunc(prefix+"_gc_wa_milli", lockedInt(func() int64 {
+		hostPages := d.hostWriteBytes / int64(d.cfg.SectorSize)
+		if hostPages == 0 {
+			return 1000
+		}
+		return (hostPages + d.gcCopiedPages) * 1000 / hostPages
+	}))
+}
+
+// AttachJournal points the device at a shared event journal: block
+// allocations and GC episodes record under source slot. Passing nil
+// detaches.
+func (d *Device) AttachJournal(j *obs.Journal, slot int) {
+	d.mu.Lock()
+	d.jrn, d.jslot = j, slot
+	d.mu.Unlock()
 }
 
 func (d *Device) xferTime(n int, bw float64) time.Duration {
@@ -383,6 +410,7 @@ func (d *Device) allocBlockLocked() int {
 	b := d.free[len(d.free)-1]
 	d.free = d.free[:len(d.free)-1]
 	d.blocks[b] = eraseBlock{state: blockOpen}
+	d.jrn.Record(obs.EvBlockAlloc, d.jslot, -1, int64(len(d.free)), 0, 0, 0)
 	return b
 }
 
@@ -425,6 +453,7 @@ func (d *Device) gcLocked() time.Duration {
 		}
 		blk := &d.blocks[victim]
 		base := int64(victim) * int64(d.cfg.PagesPerBlock)
+		copied := int64(0)
 		for p := 0; p < d.cfg.PagesPerBlock && blk.valid > 0; p++ {
 			pp := base + int64(p)
 			lp := d.p2l[pp]
@@ -439,6 +468,7 @@ func (d *Device) gcLocked() time.Duration {
 			// programLocked decremented the victim's valid count via
 			// the old mapping.
 			d.gcCopiedPages++
+			copied++
 			cost += d.xferTime(pageBytes, d.cfg.ReadBandwidth) + d.xferTime(pageBytes, d.cfg.WriteBandwidth)
 		}
 		blk.state = blockFree
@@ -447,6 +477,11 @@ func (d *Device) gcLocked() time.Duration {
 		d.free = append(d.free, victim)
 		d.gcEraseCount++
 		cost += d.cfg.EraseLatency
+		if d.jrn.Enabled() {
+			hostPages := d.hostWriteBytes / int64(d.cfg.SectorSize)
+			d.jrn.Record(obs.EvGC, d.jslot, -1,
+				int64(victim), copied, hostPages, hostPages+d.gcCopiedPages)
+		}
 	}
 	return cost
 }

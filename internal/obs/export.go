@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -26,6 +27,7 @@ type Snapshot struct {
 	Counters   map[string]int64        `json:"counters"`
 	Gauges     map[string]int64        `json:"gauges"`
 	Histograms map[string]HistSnapshot `json:"histograms"`
+	Help       map[string]string       `json:"-"`
 }
 
 // Snapshot captures every registered metric, evaluating gauge funcs.
@@ -34,11 +36,15 @@ func (r *Registry) Snapshot() *Snapshot {
 		Counters:   make(map[string]int64),
 		Gauges:     make(map[string]int64),
 		Histograms: make(map[string]HistSnapshot),
+		Help:       make(map[string]string),
 	}
 	if r == nil {
 		return s
 	}
 	r.mu.Lock()
+	for k, v := range r.help {
+		s.Help[k] = v
+	}
 	counters := make(map[string]*Counter, len(r.counters))
 	for k, v := range r.counters {
 		counters[k] = v
@@ -88,11 +94,17 @@ func (s *Snapshot) WriteJSON(w io.Writer) error {
 // quantile labels, durations converted to seconds.
 func (s *Snapshot) WritePrometheus(w io.Writer) error {
 	for _, name := range sortedKeys(s.Counters) {
+		if err := s.writeHelp(w, name); err != nil {
+			return err
+		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[name]); err != nil {
 			return err
 		}
 	}
 	for _, name := range sortedKeys(s.Gauges) {
+		if err := s.writeHelp(w, name); err != nil {
+			return err
+		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, s.Gauges[name]); err != nil {
 			return err
 		}
@@ -103,6 +115,9 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 	}
 	sort.Strings(histNames)
 	for _, name := range histNames {
+		if err := s.writeHelp(w, name); err != nil {
+			return err
+		}
 		h := s.Histograms[name]
 		_, err := fmt.Fprintf(w,
 			"# TYPE %s summary\n"+
@@ -125,6 +140,33 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 	}
 	return nil
 }
+
+// writeHelp emits the # HELP line for name if help text was registered.
+func (s *Snapshot) writeHelp(w io.Writer, name string) error {
+	text, ok := s.Help[name]
+	if !ok || text == "" {
+		return nil
+	}
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(text))
+	return err
+}
+
+// escapeHelp escapes HELP text per the Prometheus text exposition
+// format: backslash and newline.
+func escapeHelp(s string) string {
+	return helpEscaper.Replace(s)
+}
+
+// escapeLabelValue escapes a label value per the text exposition
+// format: backslash, newline, and double quote.
+func escapeLabelValue(s string) string {
+	return labelEscaper.Replace(s)
+}
+
+var (
+	helpEscaper  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	labelEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+)
 
 func sortedKeys(m map[string]int64) []string {
 	keys := make([]string, 0, len(m))

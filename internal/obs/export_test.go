@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPrometheusHelpLines(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("raizn_wa_data_bytes").Add(7)
+	r.Help("raizn_wa_data_bytes", "device bytes carrying user data")
+	r.Gauge("zns_zone_state_open_total").Set(3)
+	r.Help("zns_zone_state_open_total", "zones currently open")
+	r.Counter("raizn_no_help_total").Add(1)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# HELP raizn_wa_data_bytes device bytes carrying user data\n# TYPE raizn_wa_data_bytes counter\nraizn_wa_data_bytes 7\n",
+		"# HELP zns_zone_state_open_total zones currently open\n# TYPE zns_zone_state_open_total gauge\nzns_zone_state_open_total 3\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "# HELP raizn_no_help_total") {
+		t.Fatalf("HELP emitted for a metric without registered help:\n%s", text)
+	}
+}
+
+func TestPrometheusHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m_total").Add(1)
+	r.Help("m_total", "line one\nline two with back\\slash")
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP m_total line one\nline two with back\\slash` + "\n"
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("escaped HELP missing, want %q in:\n%s", want, buf.String())
+	}
+	// The exposition format keeps HELP on one line: the raw newline must
+	// not survive.
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "# HELP") && strings.Contains(line, "line one") &&
+			!strings.Contains(line, "line two") {
+			t.Fatalf("HELP text split across lines:\n%s", buf.String())
+		}
+	}
+}
+
+func TestEscapeHelpers(t *testing.T) {
+	if got := escapeHelp("a\\b\nc"); got != `a\\b\nc` {
+		t.Fatalf("escapeHelp = %q", got)
+	}
+	if got := escapeLabelValue("say \"hi\"\\\n"); got != `say \"hi\"\\\n` {
+		t.Fatalf("escapeLabelValue = %q", got)
+	}
+	if got := escapeLabelValue("plain"); got != "plain" {
+		t.Fatalf("escapeLabelValue = %q", got)
+	}
+}
+
+func TestPrometheusDeterministicOrdering(t *testing.T) {
+	build := func() string {
+		r := NewRegistry()
+		// Insert in shuffled order; output must sort by name within each
+		// metric kind.
+		r.Counter("z_total").Add(1)
+		r.Counter("a_total").Add(2)
+		r.Counter("m_total").Add(3)
+		r.Gauge("z_gauge").Set(4)
+		r.Gauge("a_gauge").Set(5)
+		r.Histogram("z_lat_seconds").Record(time.Millisecond)
+		r.Histogram("a_lat_seconds").Record(2 * time.Millisecond)
+		r.Help("m_total", "the m counter")
+		var buf bytes.Buffer
+		if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	first := build()
+	for i := 0; i < 5; i++ {
+		if got := build(); got != first {
+			t.Fatalf("output differs across runs:\n--- first:\n%s\n--- run %d:\n%s", first, i, got)
+		}
+	}
+	aIdx := strings.Index(first, "a_total")
+	mIdx := strings.Index(first, "m_total")
+	zIdx := strings.Index(first, "z_total")
+	if !(aIdx < mIdx && mIdx < zIdx) {
+		t.Fatalf("counters not name-sorted:\n%s", first)
+	}
+	if ag, zg := strings.Index(first, "a_gauge"), strings.Index(first, "z_gauge"); !(zIdx < ag && ag < zg) {
+		t.Fatalf("gauges not after counters or not sorted:\n%s", first)
+	}
+	if ah, zh := strings.Index(first, "a_lat_seconds"), strings.Index(first, "z_lat_seconds"); !(ah < zh) {
+		t.Fatalf("histograms not sorted:\n%s", first)
+	}
+}

@@ -230,6 +230,8 @@ func (m *mdManager) appendSpan(sp *obs.Span, r *record, flags zns.Flag) (*vclock
 			pba, fut := dev.AppendSpan(sp, z, buf, flags)
 			if pba >= 0 {
 				m.mu.Unlock()
+				m.vol.accountMDBytes(r.typ, 1, need-1)
+				m.vol.recordMDEvent(m.dev, z, r.typ, 1, need-1)
 				return fut, pba, nil
 			}
 			// Fall through to GC on append failure.
@@ -296,6 +298,9 @@ func (m *mdManager) gc(kind mdKind) error {
 		r.typ |= recCheckpoint
 		buf := r.encode(m.vol.sectorSize)
 		_, fut := dev.Append(newActive, buf, 0)
+		sectors := int64(len(buf) / m.vol.sectorSize)
+		m.vol.accountMDBytes(r.typ, 1, sectors-1)
+		m.vol.recordMDEvent(m.dev, newActive, r.typ, 1, sectors-1)
 		futs = append(futs, fut)
 	}
 	// The checkpoint must be durable before the old zone disappears;

@@ -76,6 +76,9 @@ func (m *mdManager) appendMetaSpan(sp *obs.Span, r *record, flags zns.Flag) (*vc
 			pba, fut := dev.AppendMetaSpan(sp, z, buf, meta, flags)
 			if pba >= 0 {
 				m.mu.Unlock()
+				// Header rides in per-block metadata: zero header sectors.
+				m.vol.accountMDBytes(r.typ, 0, need)
+				m.vol.recordMDEvent(m.dev, z, r.typ, 0, need)
 				return fut, pba, nil
 			}
 		}
@@ -102,6 +105,7 @@ func (v *Volume) issueZRWAParityLocked(sp *obs.Span, lz *logicalZone, s int64, b
 	plen := minI64(buf.fill, v.lt.su)
 	img := v.parityImageLocked(buf, []intraInterval{{0, plen}})
 	v.stats.zrwaParityWrites.Add(1)
+	v.stats.waParityBytes.Add(int64(len(img)))
 	pba := v.lt.parityPBA(lz.idx, s)
 	child := sp.Child(obs.OpDevWrite, dev, pba, int64(len(img)))
 	fut := d.WriteZRWASpan(child, pba, img, flags)

@@ -93,6 +93,12 @@ type Config struct {
 	// scrub paths. Nil creates a private, disabled tracer; tracing costs
 	// nothing until it is enabled.
 	Tracer *obs.Tracer
+	// Journal collects state-transition events (zone lifecycle, partial
+	// parity, metadata writes, relocation, degraded/rebuild) across the
+	// volume and — when supplied — all its devices, which are attached
+	// under their array slot. Nil creates a private, disabled journal;
+	// recording costs nothing until it is enabled.
+	Journal *obs.Journal
 }
 
 // ParityMode selects the partial-parity crash-safety mechanism.
@@ -245,6 +251,7 @@ type Volume struct {
 
 	reg    *obs.Registry
 	tracer *obs.Tracer
+	jrn    *obs.Journal
 	stats  statsCounters
 }
 
@@ -420,12 +427,26 @@ func newVolume(clk *vclock.Clock, devs []*zns.Device, cfg Config) (*Volume, erro
 	if tracer == nil {
 		tracer = obs.NewTracer(clk, obs.Config{})
 	}
+	jrn := cfg.Journal
+	if jrn == nil {
+		jrn = obs.NewJournal(clk, obs.JournalConfig{})
+	} else {
+		// A shared journal covers the devices too: each records under
+		// its array slot, so analyzers can correlate logical events
+		// (SrcLogical) with the physical transitions they caused.
+		for i, d := range devs {
+			if d != nil {
+				d.AttachJournal(jrn, i)
+			}
+		}
+	}
 	v := &Volume{
 		clk:         clk,
 		cfg:         cfg,
 		lt:          lt,
 		reg:         reg,
 		tracer:      tracer,
+		jrn:         jrn,
 		sectorSize:  dc.SectorSize,
 		arrayID:     arrayID,
 		devs:        append([]*zns.Device(nil), devs...),
@@ -448,6 +469,7 @@ func newVolume(clk *vclock.Clock, devs []*zns.Device, cfg Config) (*Volume, erro
 		}
 	}
 	v.stats = newStatsCounters(reg)
+	registerWAHelp(reg)
 	reg.GaugeFunc("raizn_degraded_slot", func() int64 {
 		v.mu.Lock()
 		defer v.mu.Unlock()
@@ -471,6 +493,10 @@ func (v *Volume) Tracer() *obs.Tracer { return v.tracer }
 
 // Metrics returns the registry the volume's counters live in.
 func (v *Volume) Metrics() *obs.Registry { return v.reg }
+
+// Journal returns the volume's event journal (never nil; disabled
+// unless the caller enabled it or supplied an enabled one via Config).
+func (v *Volume) Journal() *obs.Journal { return v.jrn }
 
 func (v *Volume) newLogicalZone(z int) *logicalZone {
 	lz := &logicalZone{
@@ -597,6 +623,7 @@ func (v *Volume) failDeviceLocked(i int) error {
 	v.devs[i] = nil
 	v.md[i] = nil
 	v.publishDevTableLocked()
+	v.jrn.Record(obs.EvDegraded, i, -1, 1, 0, 0, 0)
 	return nil
 }
 

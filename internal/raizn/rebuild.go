@@ -4,6 +4,7 @@ import (
 	"errors"
 	"time"
 
+	"raizn/internal/obs"
 	"raizn/internal/parity"
 	"raizn/internal/zns"
 )
@@ -54,6 +55,9 @@ func (v *Volume) ReplaceDevice(newDev *zns.Device) (RebuildStats, error) {
 	v.rebuilding = true
 	v.rebuiltZones = make([]bool, v.lt.numZones)
 	v.devs[slot] = newDev
+	if v.cfg.Journal != nil {
+		newDev.AttachJournal(v.cfg.Journal, slot)
+	}
 	v.publishDevTableLocked()
 	v.mu.Unlock()
 
@@ -92,6 +96,9 @@ func (v *Volume) ReplaceDevice(newDev *zns.Device) (RebuildStats, error) {
 		}
 		stats.Zones++
 		stats.BytesWritten += n
+		v.stats.waRebuildBytes.Add(n)
+		v.jrn.Record(obs.EvRebuild, slot, z,
+			int64(stats.Zones), int64(len(order)), stats.BytesWritten, 0)
 	}
 	// Empty zones need no data; mark everything rebuilt.
 	v.mu.Lock()
@@ -102,6 +109,7 @@ func (v *Volume) ReplaceDevice(newDev *zns.Device) (RebuildStats, error) {
 	v.rebuilding = false
 	v.rebuiltZones = nil
 	v.publishDevTableLocked()
+	v.jrn.Record(obs.EvDegraded, slot, -1, 0, 0, 0, 0)
 	v.mu.Unlock()
 
 	if err := newDev.Flush().Wait(); err != nil {

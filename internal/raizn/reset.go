@@ -114,6 +114,13 @@ func (v *Volume) doResetZone(sp *obs.Span, lz *logicalZone) error {
 		v.openCount--
 		v.mu.Unlock()
 	}
+	if v.jrn.Enabled() {
+		v.mu.Lock()
+		open := int64(v.openCount)
+		v.mu.Unlock()
+		v.jrn.Record(obs.EvZoneReset, obs.SrcLogical, z,
+			lz.wp, int64(v.Generation(z)), open, open)
+	}
 	lz.state = zns.ZoneEmpty
 	lz.wp = 0
 	lz.submittedWP = 0
@@ -219,6 +226,12 @@ func (v *Volume) FinishZone(z int) error {
 	}
 	v.closeZoneSlot(lz, zns.ZoneFull)
 	persisted := lz.wp
+	if v.jrn.Enabled() {
+		v.mu.Lock()
+		open := int64(v.openCount)
+		v.mu.Unlock()
+		v.jrn.Record(obs.EvZoneFinish, obs.SrcLogical, z, persisted, 0, open, open)
+	}
 	lz.mu.Unlock()
 
 	futs = v.issuePendingMD(nil, pending, futs)

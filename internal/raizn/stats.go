@@ -1,6 +1,10 @@
 package raizn
 
-import "raizn/internal/obs"
+import (
+	"fmt"
+
+	"raizn/internal/obs"
+)
 
 // Stats are lifetime volume counters, useful for write-amplification
 // analysis and for verifying which mechanisms a workload exercises.
@@ -53,6 +57,17 @@ type statsCounters struct {
 	scrubRepairedData   *obs.Counter
 	scrubRepairedParity *obs.Counter
 	scrubUnrepaired     *obs.Counter
+
+	// Layered write-amplification accounting: every byte the raizn
+	// layer puts on a device is charged to exactly one category, so
+	// summing them reproduces total device host writes and the WAReport
+	// can decompose the amplification by cause.
+	waDataBytes      *obs.Counter // user data at its arithmetic (or relocated) location
+	waParityBytes    *obs.Counter // full-stripe, ZRWA, and relocated parity images
+	waPPHeaderBytes  *obs.Counter // §5.1 partial-parity record header sectors
+	waPPPayloadBytes *obs.Counter // §5.1 partial-parity payload sectors
+	waMetadataBytes  *obs.Counter // superblock/gen/WAL/checksum/checkpoint records + reloc headers
+	waRebuildBytes   *obs.Counter // reconstruction writes to a replacement device
 }
 
 func newStatsCounters(r *obs.Registry) statsCounters {
@@ -77,7 +92,23 @@ func newStatsCounters(r *obs.Registry) statsCounters {
 		scrubRepairedData:   r.Counter("raizn_scrub_repaired_data_total"),
 		scrubRepairedParity: r.Counter("raizn_scrub_repaired_parity_total"),
 		scrubUnrepaired:     r.Counter("raizn_scrub_unrepaired_total"),
+
+		waDataBytes:      r.Counter("raizn_wa_data_bytes"),
+		waParityBytes:    r.Counter("raizn_wa_parity_bytes"),
+		waPPHeaderBytes:  r.Counter("raizn_wa_pp_header_bytes"),
+		waPPPayloadBytes: r.Counter("raizn_wa_pp_payload_bytes"),
+		waMetadataBytes:  r.Counter("raizn_wa_metadata_bytes"),
+		waRebuildBytes:   r.Counter("raizn_wa_rebuild_bytes"),
 	}
+}
+
+func registerWAHelp(r *obs.Registry) {
+	r.Help("raizn_wa_data_bytes", "device bytes carrying user data (arithmetic location or relocated payload)")
+	r.Help("raizn_wa_parity_bytes", "device bytes carrying parity images (full-stripe, ZRWA prefix, relocated)")
+	r.Help("raizn_wa_pp_header_bytes", "device bytes spent on partial-parity record headers (paper section 5.1)")
+	r.Help("raizn_wa_pp_payload_bytes", "device bytes carrying partial-parity payloads (paper section 5.1)")
+	r.Help("raizn_wa_metadata_bytes", "device bytes spent on metadata records: superblock, generations, reset WAL, checksums, checkpoints, relocation headers")
+	r.Help("raizn_wa_rebuild_bytes", "device bytes written to a replacement device during rebuild")
 }
 
 // Stats returns a snapshot of the volume's lifetime counters. It is a
@@ -105,6 +136,80 @@ func (v *Volume) Stats() Stats {
 		ScrubRepairedParity: v.stats.scrubRepairedParity.Load(),
 		ScrubUnrepaired:     v.stats.scrubUnrepaired.Load(),
 	}
+}
+
+// accountMDBytes charges a metadata append's sectors to the layered WA
+// categories: partial-parity headers and payloads separately (§5.1),
+// relocation payloads back to the data/parity category they carry
+// (§5.2), everything else — superblock, generation counters, reset WAL,
+// stripe checksums, GC checkpoints — to metadata. Checkpoint copies are
+// pure metadata churn regardless of the record they re-persist.
+func (v *Volume) accountMDBytes(typ recType, headerSectors, payloadSectors int64) {
+	ss := int64(v.sectorSize)
+	hdr, pay := headerSectors*ss, payloadSectors*ss
+	if typ&recCheckpoint != 0 {
+		v.stats.waMetadataBytes.Add(hdr + pay)
+		return
+	}
+	switch typ.base() {
+	case recPartialParity:
+		v.stats.waPPHeaderBytes.Add(hdr)
+		v.stats.waPPPayloadBytes.Add(pay)
+	case recRelocData:
+		v.stats.waMetadataBytes.Add(hdr)
+		v.stats.waDataBytes.Add(pay)
+	case recRelocParity:
+		v.stats.waMetadataBytes.Add(hdr)
+		v.stats.waParityBytes.Add(pay)
+	default:
+		v.stats.waMetadataBytes.Add(hdr + pay)
+	}
+}
+
+// recordMDEvent journals one metadata append into the event stream:
+// live partial-parity records get their own event type (§5.1 traffic is
+// a headline WA cause); everything else is a metadata-write event
+// carrying the record type. zone is the physical metadata zone appended
+// to on device dev.
+func (v *Volume) recordMDEvent(dev, zone int, typ recType, hdrSectors, paySectors int64) {
+	if !v.jrn.Enabled() {
+		return
+	}
+	ss := int64(v.sectorSize)
+	if typ.base() == recPartialParity && typ&recCheckpoint == 0 {
+		v.jrn.Record(obs.EvPartialParity, dev, zone, paySectors*ss, hdrSectors*ss, 0, 0)
+		return
+	}
+	v.jrn.Record(obs.EvMetadataWrite, dev, zone, paySectors*ss, hdrSectors*ss, int64(typ), 0)
+}
+
+// WAReport assembles the layered write-amplification report: user bytes
+// accepted at the top, the raizn layer's per-category physical writes in
+// the middle, and each device's host-write total at the bottom. The
+// category sum and the device sum describe the same bytes from the two
+// sides of the device interface, so they agree once in-flight IO drains.
+func (v *Volume) WAReport() *obs.WAReport {
+	rep := &obs.WAReport{
+		UserBytes: v.stats.logicalWriteBytes.Load(),
+		Categories: []obs.WACategory{
+			{Name: "data", Bytes: v.stats.waDataBytes.Load()},
+			{Name: "parity", Bytes: v.stats.waParityBytes.Load()},
+			{Name: "pp-header", Bytes: v.stats.waPPHeaderBytes.Load()},
+			{Name: "pp-payload", Bytes: v.stats.waPPPayloadBytes.Load()},
+			{Name: "metadata", Bytes: v.stats.waMetadataBytes.Load()},
+			{Name: "rebuild", Bytes: v.stats.waRebuildBytes.Load()},
+		},
+	}
+	for i := range v.devs {
+		d := v.dev(i)
+		if d == nil {
+			rep.Devices = append(rep.Devices, obs.WADevice{Name: fmt.Sprintf("dev%d (failed)", i)})
+			continue
+		}
+		w, _, _, _ := d.Counters()
+		rep.Devices = append(rep.Devices, obs.WADevice{Name: fmt.Sprintf("dev%d", i), HostBytes: w})
+	}
+	return rep
 }
 
 // DeviceWriteAmplification returns total device writes (data + parity +

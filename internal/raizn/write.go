@@ -508,6 +508,7 @@ func (v *Volume) submitWriteLocked(ws *writeState, lz *logicalZone, ok bool) {
 	tbl := v.loadDevs()
 	z := lz.idx
 	ss := int64(v.sectorSize)
+	var dataB, parityB int64 // WA category bytes actually sent to devices
 
 	for dev := 0; dev < v.lt.n; dev++ {
 		d := tbl.zoneDev(dev, z)
@@ -548,9 +549,15 @@ func (v *Volume) submitWriteLocked(ws *writeState, lz *logicalZone, ok bool) {
 				// submission order matches plan order.
 				segs = v.flushRun(ws, d, dev, runStart, segs)
 				v.stats.zrwaParityWrites.Add(1)
+				parityB += int64(len(data))
 				child := ws.sp.Child(obs.OpDevWrite, dev, pba, int64(len(data)))
 				ws.futs = append(ws.futs, subIO{dev: dev, fut: d.WriteZRWASpan(child, pba, data, ws.flags)})
 				continue
+			}
+			if e.isParity {
+				parityB += int64(len(data))
+			} else {
+				dataB += int64(len(data))
 			}
 			if len(segs) > 0 && pba == runNext {
 				segs = append(segs, data)
@@ -562,6 +569,12 @@ func (v *Volume) submitWriteLocked(ws *writeState, lz *logicalZone, ok bool) {
 			}
 		}
 		ws.segs = v.flushRun(ws, d, dev, runStart, segs)
+	}
+	if dataB > 0 {
+		v.stats.waDataBytes.Add(dataB)
+	}
+	if parityB > 0 {
+		v.stats.waParityBytes.Add(parityB)
 	}
 
 	// Publish the CRC rows now that the stripe payloads are applied on
@@ -735,6 +748,8 @@ func (v *Volume) openZoneSlot(lz *logicalZone) error {
 	}
 	v.openCount++
 	lz.state = zns.ZoneOpen
+	v.jrn.Record(obs.EvZoneState, obs.SrcLogical, lz.idx,
+		int64(zns.ZoneOpen), lz.wp, int64(v.openCount), int64(v.openCount))
 	return nil
 }
 
@@ -746,6 +761,8 @@ func (v *Volume) closeZoneSlot(lz *logicalZone, to zns.ZoneState) {
 		v.openCount--
 	}
 	lz.state = to
+	v.jrn.Record(obs.EvZoneState, obs.SrcLogical, lz.idx,
+		int64(to), lz.wp, int64(v.openCount), int64(v.openCount))
 	v.mu.Unlock()
 }
 
@@ -800,6 +817,11 @@ func (v *Volume) issueDeviceWrite(sp *obs.Span, dev int, pba int64, data []byte,
 		if len(data) == 0 {
 			return
 		}
+	}
+	if isParity {
+		v.stats.waParityBytes.Add(int64(len(data)))
+	} else {
+		v.stats.waDataBytes.Add(int64(len(data)))
 	}
 	child := sp.Child(obs.OpDevWrite, dev, pba, int64(len(data)))
 	fut := d.WriteSpan(child, pba, data, flags)
@@ -857,6 +879,13 @@ func (v *Volume) parityImageLocked(buf *stripeBuffer, regions []intraInterval) [
 // before relocMu, matching every other path.
 func (v *Volume) addReloc(z int, e relocEntry, isParity bool, s int64) {
 	v.stats.relocations.Add(1)
+	if v.jrn.Enabled() {
+		par := int64(0)
+		if isParity {
+			par = 1
+		}
+		v.jrn.Record(obs.EvRelocation, e.dev, z, e.endLBA-e.startLBA, par, 0, 0)
+	}
 	lz := v.zones[z]
 	lz.mu.Lock()
 	lz.remapped = true

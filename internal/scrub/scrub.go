@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"raizn/internal/obs"
 	"raizn/internal/vclock"
 )
 
@@ -57,6 +58,9 @@ type Config struct {
 	RateLimit int64
 	// PassInterval is the idle time between background passes.
 	PassInterval time.Duration
+	// Journal, when non-nil and enabled, receives one EvScrub event per
+	// completed pass (stripes, mismatches, repairs, bytes read).
+	Journal *obs.Journal
 }
 
 // PassStats aggregates one scrub pass.
@@ -202,6 +206,9 @@ func (s *Scrubber) RunPass() (PassStats, error) {
 	s.totals.Unrepaired += stats.Unrepaired
 	s.totals.BytesRead += stats.BytesRead
 	s.mu.Unlock()
+	s.cfg.Journal.Record(obs.EvScrub, obs.SrcLogical, -1,
+		stats.Stripes, stats.Mismatches,
+		stats.RepairedData+stats.RepairedParity, stats.BytesRead)
 	return stats, nil
 }
 

@@ -457,6 +457,7 @@ func (d *Device) ResetZoneSpan(sp *obs.Span, z int) *vclock.Future {
 	case ZoneClosed:
 		d.nActive--
 	}
+	wpBefore := zo.wp
 	zo.state = ZoneEmpty
 	zo.wp = 0
 	zo.pwp = 0
@@ -466,6 +467,8 @@ func (d *Device) ResetZoneSpan(sp *obs.Span, z int) *vclock.Future {
 	d.dropMetaLocked(z)
 	d.dropFaultsLocked(z)
 	d.resetCount++
+	d.jrn.Record(obs.EvZoneReset, d.jslot, z,
+		wpBefore, d.resetCount, int64(d.nOpen), int64(d.nActive))
 
 	now := d.clk.Now()
 	markPipe(sp, d.writeBusy, now)
@@ -509,9 +512,12 @@ func (d *Device) FinishZoneSpan(sp *obs.Span, z int) *vclock.Future {
 	case ZoneClosed:
 		d.nActive--
 	}
+	wpBefore := zo.wp
 	zo.state = ZoneFull
 	zo.finished = true
 	d.persistZoneLocked(z, zo.wp)
+	d.jrn.Record(obs.EvZoneFinish, d.jslot, z,
+		wpBefore, 0, int64(d.nOpen), int64(d.nActive))
 
 	now := d.clk.Now()
 	markPipe(sp, d.writeBusy, now)

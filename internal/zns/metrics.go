@@ -1,6 +1,10 @@
 package zns
 
-import "raizn/internal/obs"
+import (
+	"strings"
+
+	"raizn/internal/obs"
+)
 
 // RegisterMetrics publishes the device's lifetime counters into the
 // registry as pull-style gauges under the given prefix (conventionally
@@ -22,4 +26,62 @@ func (d *Device) RegisterMetrics(r *obs.Registry, prefix string) {
 	r.GaugeFunc(prefix+"_latent_sectors_total", lockedInt(func() int64 { return d.injectedReadErrs }))
 	r.GaugeFunc(prefix+"_bitrot_sectors_total", lockedInt(func() int64 { return d.injectedRot }))
 	r.GaugeFunc(prefix+"_read_medium_errs_total", lockedInt(func() int64 { return d.readMediumErrs }))
+	r.GaugeFunc(prefix+"_open_zones", lockedInt(func() int64 { return int64(d.nOpen) }))
+	r.GaugeFunc(prefix+"_active_zones", lockedInt(func() int64 { return int64(d.nActive) }))
+}
+
+// stateCountLocked counts zones currently in state st. Caller holds d.mu.
+func (d *Device) stateCountLocked(st ZoneState) int64 {
+	var n int64
+	for i := range d.zones {
+		if d.zones[i].state == st {
+			n++
+		}
+	}
+	return n
+}
+
+// RegisterZoneStateMetrics publishes aggregate zone-lifecycle gauges —
+// zns_zone_state_<state>_zones plus total open/active counts — summed
+// over the given devices. One registration covers a whole array.
+func RegisterZoneStateMetrics(r *obs.Registry, devs []*Device) {
+	sum := func(f func(d *Device) int64) func() int64 {
+		return func() int64 {
+			var n int64
+			for _, d := range devs {
+				d.mu.Lock()
+				n += f(d)
+				d.mu.Unlock()
+			}
+			return n
+		}
+	}
+	for st := ZoneEmpty; st <= ZoneOffline; st++ {
+		st := st
+		// Metric names must be snake_case: "read-only" -> "read_only".
+		name := "zns_zone_state_" + strings.ReplaceAll(st.String(), "-", "_") + "_zones"
+		r.Help(name, "zones currently in the "+st.String()+" lifecycle state, summed over array devices")
+		r.GaugeFunc(name, sum(func(d *Device) int64 { return d.stateCountLocked(st) }))
+	}
+	r.Help("zns_zone_state_open_total", "open zones summed over array devices (open/active limit pressure)")
+	r.GaugeFunc("zns_zone_state_open_total", sum(func(d *Device) int64 { return int64(d.nOpen) }))
+	r.Help("zns_zone_state_active_total", "active (open+closed) zones summed over array devices")
+	r.GaugeFunc("zns_zone_state_active_total", sum(func(d *Device) int64 { return int64(d.nActive) }))
+}
+
+// AttachJournal points the device at a shared event journal: zone
+// lifecycle transitions (open/close/full, reset, finish) record under
+// source slot (conventionally the device's array index). Safe to call
+// before any IO; passing nil detaches.
+func (d *Device) AttachJournal(j *obs.Journal, slot int) {
+	d.mu.Lock()
+	d.jrn, d.jslot = j, slot
+	d.mu.Unlock()
+}
+
+// Journal returns the attached journal (nil if none).
+func (d *Device) Journal() *obs.Journal {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.jrn
 }

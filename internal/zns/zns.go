@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"raizn/internal/obs"
 	"raizn/internal/vclock"
 )
 
@@ -248,6 +249,12 @@ type Device struct {
 	writeCmds      int64 // write commands accepted (a Writev counts once)
 	flushCount     int64
 	resetCount     int64
+
+	// Event journal (AttachJournal); zone lifecycle transitions record
+	// into it under jslot. Nil until attached; Record is nil-safe and
+	// free when disabled, so the hot path never branches on it.
+	jrn   *obs.Journal
+	jslot int
 }
 
 // NewDevice creates a device with every zone empty. It panics on invalid
@@ -349,6 +356,14 @@ func (d *Device) WriteCommands() int64 {
 	return d.writeCmds
 }
 
+// jStateLocked journals zone z's new lifecycle state together with the
+// open/active occupancy after the transition. Caller holds d.mu.
+func (d *Device) jStateLocked(z int) {
+	zo := &d.zones[z]
+	d.jrn.Record(obs.EvZoneState, d.jslot, z,
+		int64(zo.state), zo.wp, int64(d.nOpen), int64(d.nActive))
+}
+
 // transitionToOpenLocked moves zone z toward the open state, enforcing the
 // open/active limits.
 func (d *Device) transitionToOpenLocked(z int) error {
@@ -366,6 +381,7 @@ func (d *Device) transitionToOpenLocked(z int) error {
 		zo.state = ZoneOpen
 		d.nOpen++
 		d.nActive++
+		d.jStateLocked(z)
 		return nil
 	case ZoneClosed:
 		if d.nOpen >= d.cfg.MaxOpenZones {
@@ -373,6 +389,7 @@ func (d *Device) transitionToOpenLocked(z int) error {
 		}
 		zo.state = ZoneOpen
 		d.nOpen++
+		d.jStateLocked(z)
 		return nil
 	case ZoneFull:
 		return ErrZoneFull
@@ -388,6 +405,7 @@ func (d *Device) finalizeFullLocked(z int) {
 		zo.state = ZoneFull
 		d.nOpen--
 		d.nActive--
+		d.jStateLocked(z)
 	}
 }
 
@@ -414,6 +432,7 @@ func (d *Device) CloseZone(z int) error {
 			zo.state = ZoneClosed
 		}
 		d.nOpen--
+		d.jStateLocked(z)
 	}
 	return nil
 }
@@ -457,4 +476,5 @@ func (d *Device) SetZoneState(z int, s ZoneState) {
 		d.nActive--
 	}
 	zo.state = s
+	d.jStateLocked(z)
 }
