@@ -3,6 +3,15 @@
 // random power loss during writes, partial zone resets, crash + device
 // failure, and rebuild under load. It exits non-zero if any scenario's
 // invariant is violated.
+//
+// Chaos mode drives the deterministic crash-point explorer instead:
+//
+//	raizn-faults -chaos <scenario>                 enumerate crash points
+//	raizn-faults -chaos <scenario> -explore        crash at each, check recovery
+//	raizn-faults -replay <seed-string>             replay a printed repro
+//
+// Every run prints its seed; the same seed reproduces the same run bit
+// for bit, and every violation prints a replay seed string.
 package main
 
 import (
@@ -13,6 +22,7 @@ import (
 	"os"
 	"time"
 
+	"raizn/internal/chaos"
 	"raizn/internal/raizn"
 	"raizn/internal/scrub"
 	"raizn/internal/vclock"
@@ -53,11 +63,24 @@ func pattern(lba int64, n, ss int) []byte {
 
 func main() {
 	seeds := flag.Int("seeds", 10, "random crash seeds per scenario")
+	seed := flag.Int64("seed", 1, "base seed; the same seed reproduces the same run")
+	chaosName := flag.String("chaos", "", "run the named chaos scenario (see -explore); lists crash points without it")
+	explore := flag.Bool("explore", false, "with -chaos: crash at every sampled crossing and check recovery")
+	maxPoints := flag.Int("max", 0, "with -explore: cap explored crash points, sampled evenly (0 = all)")
+	replay := flag.String("replay", "", "replay a chaos repro seed string as printed for a violation")
 	flag.Parse()
 
+	if *replay != "" {
+		os.Exit(runReplay(*replay))
+	}
+	if *chaosName != "" {
+		os.Exit(runChaos(*chaosName, *explore, *maxPoints, *seed))
+	}
+
+	fmt.Printf("seed=%d\n", *seed)
 	fmt.Println("scenario 1: random power loss during mixed writes/flushes")
-	for seed := int64(0); seed < int64(*seeds); seed++ {
-		scenarioRandomCrash(seed)
+	for i := int64(0); i < int64(*seeds); i++ {
+		scenarioRandomCrash(*seed + i)
 	}
 	fmt.Println("scenario 2: crash between the physical resets of a logical zone")
 	scenarioPartialReset()
@@ -75,6 +98,75 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("all scenarios passed")
+}
+
+// runChaos drives the crash-point explorer over a registered scenario.
+// Without -explore it only enumerates the crossings. Returns the exit
+// code: 0 clean, 1 violations, 2 usage error.
+func runChaos(name string, explore bool, maxPoints int, seed int64) int {
+	s := chaos.Lookup(name)
+	if s == nil {
+		fmt.Fprintf(os.Stderr, "unknown chaos scenario %q (have %v)\n", name, chaos.Names())
+		return 2
+	}
+	fmt.Printf("chaos scenario %s seed=%d ops=%d\n", s.Name, seed, len(s.Ops))
+
+	if !explore {
+		census, err := chaos.Census(s, seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "census: %v\n", err)
+			return 1
+		}
+		for i, cp := range census {
+			fmt.Printf("%4d  %s\n", i, cp)
+		}
+		fmt.Printf("%d crash points\n", len(census))
+		return 0
+	}
+
+	opt := chaos.Options{Seed: seed, MaxPoints: maxPoints}
+	res, err := chaos.Explore(s, opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "explore: %v\n", err)
+		return 1
+	}
+	fmt.Printf("census=%d explored=%d recovered=%d violations=%d\n",
+		len(res.Census), res.Explored, res.Recovered, len(res.Violations))
+	for _, v := range res.Violations {
+		fmt.Printf("violation: %v\n", v)
+		fmt.Printf("  replay: %s\n", chaos.ReproFor(s, v, opt).SeedString())
+	}
+	if len(res.Violations) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runReplay re-runs a printed repro seed string deterministically and
+// reports the violations it reproduces. Exit code 1 signals the violation
+// is (still) present, 2 a malformed seed.
+func runReplay(seedStr string) int {
+	r, err := chaos.ParseSeed(seedStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	fmt.Printf("replaying %s\n", r.SeedString())
+	vios, s, err := chaos.Replay(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	fmt.Printf("ops kept: %v\n", r.OpsOf(s))
+	for _, v := range vios {
+		fmt.Printf("violation: %v\n", v)
+	}
+	if len(vios) > 0 {
+		fmt.Printf("%d violation(s) reproduced\n", len(vios))
+		return 1
+	}
+	fmt.Println("no violations reproduced")
+	return 0
 }
 
 func scenarioRandomCrash(seed int64) {

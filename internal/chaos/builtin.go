@@ -1,0 +1,52 @@
+package chaos
+
+// Built-in scenarios. "stripe-reset" is the acceptance workload: enough
+// stripe writes, metadata flushes and zone lifecycle to cross every hook
+// family. "composed" layers device failure, silent corruption, scrub and
+// GC pressure on top — the schedule the shrinker is pointed at.
+
+func init() {
+	Register(StripeReset())
+	Register(Composed())
+}
+
+// StripeReset writes across stripe boundaries, flushes, resets a zone and
+// rewrites it at the next generation, and finishes another — crossing the
+// write plan/compute/submit pipeline, partial-parity and checksum
+// appends, device flush fan-out, the reset WAL protocol, and zone finish.
+func StripeReset() *Scenario {
+	return New("stripe-reset").
+		Write(0, 64).   // one full stripe: data fan-out + full parity
+		Write(0, 24).   // partial stripe: partial-parity log append
+		WriteFUA(0, 8). // FUA: per-device flush fan-out
+		Write(1, 40).
+		Flush(). // metadata-flush boundary
+		Write(1, 24).
+		Reset(0).     // reset WAL on two devices + 5 physical resets
+		Write(0, 32). // next-generation data over the reset zone
+		Finish(1).    // tail parity seal + 5 physical finishes
+		Maintain().
+		Build()
+}
+
+// Composed is the kitchen-sink schedule: clean writes, a silently
+// corrupted sector repaired by scrub, a device failure anchored mid-way
+// through a write's submit phase, degraded writes and reads, metadata GC,
+// and a zone reset — all crossed with power loss at every point.
+func Composed() *Scenario {
+	b := New("composed").
+		Write(0, 64).
+		Write(1, 48).
+		Flush().
+		Corrupt(1, 5). // dev 1, physical zone 0: hits zone 0 stripe 0 data
+		Scrub(0).      // detects and repairs the rot
+		Write(0, 32).  // this write's submit crossing triggers the failure
+		Write(1, 16).  // degraded write
+		ReadCheck(1).  // degraded read path
+		Maintain().
+		Reset(1).
+		Write(1, 24).
+		Flush()
+	b.FaultAt("raizn.write.submit", 2, Fault{Kind: OpFailDevice, Dev: 2})
+	return b.Build()
+}

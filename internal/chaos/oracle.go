@@ -1,0 +1,303 @@
+package chaos
+
+import (
+	"fmt"
+
+	"raizn/internal/obs"
+	"raizn/internal/raizn"
+	"raizn/internal/zns"
+)
+
+// Violation is one contract breach found by the recovery checker.
+type Violation struct {
+	Rule    string // short rule id, e.g. "unexplained-bytes"
+	Detail  string
+	Point   string // crash point the snapshot was taken at
+	Occ     int    // occurrence of that point name in the census
+	Index   int    // census index of the crossing
+	Variant Variant
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] at %s#%d (crossing %d, %s): %s",
+		v.Rule, v.Point, v.Occ, v.Index, v.Variant, v.Detail)
+}
+
+// devJournalState is the journal's view of one device: per zone, the
+// highest write pointer any recorded command produced, and whether the
+// zone was finished. A crash clone can never hold data beyond it.
+type devJournalState struct {
+	maxEnd   map[int]int64
+	finished map[int]bool
+}
+
+// journalView folds the captured event stream into per-device state.
+func journalView(events []obs.Event, numDev int) []devJournalState {
+	view := make([]devJournalState, numDev)
+	for i := range view {
+		view[i] = devJournalState{maxEnd: map[int]int64{}, finished: map[int]bool{}}
+	}
+	for _, e := range events {
+		src := int(e.Src)
+		if src < 0 || src >= numDev {
+			continue // logical-level event
+		}
+		z := int(e.Zone)
+		switch e.Type {
+		case obs.EvDevWrite:
+			if view[src].maxEnd[z] < e.C {
+				view[src].maxEnd[z] = e.C
+			}
+		case obs.EvZoneReset:
+			view[src].maxEnd[z] = 0
+			view[src].finished[z] = false
+		case obs.EvZoneFinish:
+			view[src].finished[z] = true
+		}
+	}
+	return view
+}
+
+// checkRecovery mounts the captured crash snapshot and validates every
+// recovery contract:
+//
+//   - J1 "unexplained-bytes": no device zone survives the power cut with
+//     a write pointer beyond the highest journaled write (persistence
+//     ordering — every surviving byte is explainable by a recorded,
+//     submitted command). Checked pre-mount, on the raw clones.
+//   - "open-after-cycle": no zone may be open after a power cycle.
+//   - "recovery-failed" / "recovery-readonly": the array must mount and
+//     stay writable after any single crash.
+//   - "lost-durable-data": a zone's recovered write pointer may not fall
+//     below its known-durable prefix (flush/FUA/finish completed).
+//   - "phantom-data": nor may it exceed everything ever submitted.
+//   - "reset-atomicity": a crash during ResetZone leaves the zone either
+//     fully reset (mandatory once the reset WAL is durable) or untouched
+//     at its pre-reset generation.
+//   - "finish-durability": a completed FinishZone survives as a full zone.
+//   - "content-mismatch": recovered bytes must match the generation-
+//     stamped pattern the workload wrote.
+//   - "unexplained-stripe-unit": every recovered logical sector beyond
+//     the durable prefix maps (via the stripe layout arithmetic) to a
+//     journaled device write covering its stripe unit.
+//   - "probe-failed": the recovered array must accept and serve a fresh
+//     write.
+//
+// The returned violations carry only Rule and Detail; the caller stamps
+// crash-point coordinates.
+func checkRecovery(s *Scenario, cap *capture) []Violation {
+	var vios []Violation
+	add := func(rule, format string, args ...interface{}) {
+		vios = append(vios, Violation{Rule: rule, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	// --- Pre-mount: raw clone contracts -----------------------------
+	view := journalView(cap.events, len(cap.clones))
+	for i, c := range cap.clones {
+		descs := c.ReportZones()
+		for _, zd := range descs {
+			if zd.State == zns.ZoneOpen {
+				add("open-after-cycle", "dev %d zone %d open after power cycle", i, zd.Index)
+			}
+		}
+		if c.Failed() || cap.dropped > 0 {
+			continue // stale pre-failure state / incomplete journal
+		}
+		for _, zd := range descs {
+			if zd.State == zns.ZoneFull && view[i].finished[zd.Index] {
+				// A finished zone reports WP at capacity regardless of how
+				// much data it holds; finishing adds no bytes to explain.
+				continue
+			}
+			rel := zd.WP - c.ZoneStart(zd.Index)
+			if max := view[i].maxEnd[zd.Index]; rel > max {
+				add("unexplained-bytes",
+					"dev %d zone %d: wp %d survives but journal explains only %d",
+					i, zd.Index, rel, max)
+			}
+		}
+	}
+
+	// --- Mount ------------------------------------------------------
+	var live []*zns.Device
+	for _, c := range cap.clones {
+		if !c.Failed() {
+			live = append(live, c)
+		}
+	}
+	if len(cap.clones)-len(live) > 1 {
+		add("unmountable", "%d failed devices", len(cap.clones)-len(live))
+		return vios
+	}
+	var vol *raizn.Volume
+	var merr error
+	cap.clk.Run(func() { vol, merr = raizn.Mount(cap.clk, live, s.volConfig()) })
+	if merr != nil {
+		add("recovery-failed", "mount: %v", merr)
+		return vios
+	}
+	if vol.ReadOnly() {
+		add("recovery-readonly", "array mounted read-only")
+	}
+
+	// --- Post-mount: logical contracts vs the workload model --------
+	m := cap.model
+	ss := vol.SectorSize()
+	cap.clk.Run(func() {
+		for z := range m.Zones {
+			zm := &m.Zones[z]
+			zoneStart := int64(z) * m.ZoneSectors
+			desc := vol.Zone(z)
+			wp := desc.WP - zoneStart
+
+			if zm.Resetting {
+				committed := zm.WALDurable || zm.PhysDone
+				switch {
+				case committed && wp != 0:
+					add("reset-atomicity",
+						"zone %d: reset WAL durable but zone recovered with wp %d", z, wp)
+				case !committed && wp > zm.PreResetWP:
+					add("reset-atomicity",
+						"zone %d: wp %d beyond pre-reset wp %d", z, wp, zm.PreResetWP)
+				case !committed && wp > 0 && !zm.Suspect:
+					// Rolled back: surviving prefix must be old-generation.
+					checkContent(vol, add, zoneStart, wp, zm.PreResetGen, ss, z)
+				}
+				continue
+			}
+
+			if wp < zm.FlushedWP {
+				add("lost-durable-data",
+					"zone %d: wp %d below durable prefix %d", z, wp, zm.FlushedWP)
+			}
+			high := zm.WrittenWP
+			if zm.PendingEnd > high {
+				high = zm.PendingEnd
+			}
+			if wp > high && !(zm.Finished || zm.Finishing) {
+				add("phantom-data",
+					"zone %d: wp %d beyond everything submitted (%d)", z, wp, high)
+			}
+			if zm.Finished && desc.State != zns.ZoneFull {
+				add("finish-durability",
+					"zone %d: finished zone recovered in state %v", z, desc.State)
+			}
+
+			end := wp
+			if end > zm.WrittenWP {
+				end = zm.WrittenWP
+			}
+			if end > 0 && !zm.Suspect {
+				checkContent(vol, add, zoneStart, end, zm.Gen, ss, z)
+			}
+
+			checkStripeUnits(s, cap, view, add, z, zm, wp, desc)
+		}
+
+		probeWrite(vol, m, add, ss)
+	})
+	return vios
+}
+
+// checkContent reads zone-relative [0, end) of the zone starting at
+// zoneStart and compares against the generation pattern.
+func checkContent(vol *raizn.Volume, add func(string, string, ...interface{}), zoneStart, end int64, gen, ss int, z int) {
+	buf := make([]byte, end*int64(ss))
+	if err := vol.Read(zoneStart, buf); err != nil {
+		add("content-mismatch", "zone %d: read [0,%d): %v", z, end, err)
+		return
+	}
+	want := make([]byte, len(buf))
+	fillPattern(want, zoneStart, gen, ss)
+	for i := range buf {
+		if buf[i] != want[i] {
+			add("content-mismatch",
+				"zone %d gen %d: byte %d of sector %d differs (got %#x want %#x)",
+				z, gen, i%ss, int64(i/ss), buf[i], want[i])
+			return
+		}
+	}
+}
+
+// checkStripeUnits asserts persistence ordering at stripe granularity:
+// every recovered logical sector beyond the zone's durable prefix must
+// map, through the layout arithmetic, to a device zone whose journaled
+// write pointer covers it. Skipped when relocation has moved units off
+// their arithmetic location or the journal is incomplete.
+func checkStripeUnits(s *Scenario, cap *capture, view []devJournalState, add func(string, string, ...interface{}), z int, zm *ZoneModel, wp int64, desc raizn.ZoneDesc) {
+	if cap.dropped > 0 || desc.Remapped || zm.Suspect {
+		return
+	}
+	for _, e := range cap.events {
+		if e.Type == obs.EvRelocation {
+			return
+		}
+	}
+	n := int64(len(cap.clones))
+	su := s.Vol.StripeUnitSectors
+	stripeSec := su * (n - 1)
+	for lba := zm.FlushedWP; lba < wp; {
+		st := lba / stripeSec
+		inStripe := lba % stripeSec
+		u := inStripe / su
+		intra := inStripe % su
+		step := su - intra
+		if lba+step > wp {
+			step = wp - lba
+		}
+		// Left-symmetric rotation (layout.dataDev).
+		pdev := n - 1 - (st+int64(z))%n
+		dev := int((pdev + 1 + u) % n)
+		if !cap.model.FailedDevs[dev] {
+			needEnd := st*su + intra + step
+			if max := view[dev].maxEnd[z]; max < needEnd && !view[dev].finished[z] {
+				add("unexplained-stripe-unit",
+					"zone %d sector %d..%d: dev %d zone wp in journal is %d, need %d",
+					z, lba, lba+step, dev, max, needEnd)
+				return
+			}
+		}
+		lba += step
+	}
+}
+
+// probeWrite appends a fresh write to the first writable zone of the
+// recovered array and reads it back. Must run inside cap.clk.Run.
+func probeWrite(vol *raizn.Volume, m *Model, add func(string, string, ...interface{}), ss int) {
+	for z := range m.Zones {
+		zm := &m.Zones[z]
+		if zm.Finished || zm.Finishing || zm.Resetting || zm.Suspect {
+			continue
+		}
+		desc := vol.Zone(z)
+		wp := desc.WP - int64(z)*m.ZoneSectors
+		if wp < 0 || wp >= m.ZoneSectors {
+			continue
+		}
+		n := m.ZoneSectors - wp
+		if n > 16 {
+			n = 16
+		}
+		buf := make([]byte, n*int64(ss))
+		for i := range buf {
+			buf[i] = byte(0x5A ^ i)
+		}
+		lba := desc.WP
+		if err := vol.Write(lba, buf, zns.FUA); err != nil {
+			add("probe-failed", "zone %d: write at %d: %v", z, lba, err)
+			return
+		}
+		got := make([]byte, len(buf))
+		if err := vol.Read(lba, got); err != nil {
+			add("probe-failed", "zone %d: read-back at %d: %v", z, lba, err)
+			return
+		}
+		for i := range got {
+			if got[i] != buf[i] {
+				add("probe-failed", "zone %d: read-back byte %d differs", z, i)
+				return
+			}
+		}
+		return // one probe is enough
+	}
+}

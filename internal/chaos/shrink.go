@@ -1,0 +1,219 @@
+package chaos
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// Repro pins one failing crash+recover run: a subset of the scenario's
+// ops (Mask), the crash coordinates, the power-loss variant and the seed.
+// Its SeedString round-trips through ParseSeed, so a failure printed by
+// the explorer or shrinker replays bit for bit from the string alone.
+type Repro struct {
+	Scenario string  // registered scenario name
+	Mask     uint64  // bit i set = op i of the scenario is kept
+	Point    string  // crash-point name
+	Occ      int     // occurrence of that name in the (masked) census
+	Variant  Variant // power-loss variant
+	Seed     int64
+	Sabotage bool // plant the test-only unjournaled write before recovery
+}
+
+// SeedString encodes the repro as a single printable token.
+func (r *Repro) SeedString() string {
+	s := fmt.Sprintf("v1:%s:%x:%s#%d:%s:%d",
+		r.Scenario, r.Mask, r.Point, r.Occ, r.Variant, r.Seed)
+	if r.Sabotage {
+		s += ":sab"
+	}
+	return s
+}
+
+// ParseSeed decodes a SeedString.
+func ParseSeed(s string) (*Repro, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) < 6 || parts[0] != "v1" {
+		return nil, fmt.Errorf("chaos: malformed replay seed %q", s)
+	}
+	r := &Repro{Scenario: parts[1]}
+	mask, err := strconv.ParseUint(parts[2], 16, 64)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: replay seed mask: %w", err)
+	}
+	r.Mask = mask
+	hash := strings.LastIndex(parts[3], "#")
+	if hash < 0 {
+		return nil, fmt.Errorf("chaos: replay seed point %q lacks #occ", parts[3])
+	}
+	r.Point = parts[3][:hash]
+	if r.Occ, err = strconv.Atoi(parts[3][hash+1:]); err != nil {
+		return nil, fmt.Errorf("chaos: replay seed occurrence: %w", err)
+	}
+	if r.Variant, err = parseVariant(parts[4]); err != nil {
+		return nil, err
+	}
+	if r.Seed, err = strconv.ParseInt(parts[5], 10, 64); err != nil {
+		return nil, fmt.Errorf("chaos: replay seed value: %w", err)
+	}
+	r.Sabotage = len(parts) > 6 && parts[6] == "sab"
+	return r, nil
+}
+
+// fullMask returns the mask keeping all n ops.
+func fullMask(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << n) - 1
+}
+
+// maskScenario returns a copy of s keeping only the ops whose mask bit is
+// set. Anchored faults are kept verbatim (they simply stop firing if
+// their crossing disappears).
+func maskScenario(s *Scenario, mask uint64) *Scenario {
+	sub := *s
+	sub.Ops = nil
+	for i, op := range s.Ops {
+		if mask&(1<<uint(i)) != 0 {
+			sub.Ops = append(sub.Ops, op)
+		}
+	}
+	return &sub
+}
+
+// OpsOf lists the ops a repro keeps, for printing.
+func (r *Repro) OpsOf(s *Scenario) []Op {
+	return maskScenario(s, r.Mask).Ops
+}
+
+// ReproFor builds the replay repro for a violation reported by Explore on
+// the full (unmasked) scenario with the given options: the printed seed
+// string re-runs exactly that crash+recover.
+func ReproFor(s *Scenario, v Violation, opt Options) *Repro {
+	return &Repro{
+		Scenario: s.Name,
+		Mask:     fullMask(len(s.Ops)),
+		Point:    v.Point,
+		Occ:      v.Occ,
+		Variant:  v.Variant,
+		Seed:     opt.Seed,
+		Sabotage: opt.BreakRecovery,
+	}
+}
+
+// runRepro executes the repro against the masked scenario: census, crash
+// at the occ-th crossing of the point, optional sabotage, full recovery
+// check. occ < 0 means "any occurrence": each is tried in order and the
+// first producing a violation with matchRule ("" = any) wins. Returns the
+// stamped violations of the chosen run and the occurrence used, or ok =
+// false if no tried occurrence produced a matching violation.
+func runRepro(s *Scenario, r *Repro, occ int, matchRule string) (vios []Violation, usedOcc int, ok bool) {
+	sub := maskScenario(s, r.Mask)
+	census, _, err := runScenario(sub, nil, -1, r.Variant, r.Seed)
+	if err != nil {
+		return nil, 0, false // masked schedule no longer runs cleanly
+	}
+	seen := -1
+	for idx, cp := range census {
+		if cp.Name != r.Point {
+			continue
+		}
+		seen++
+		if occ >= 0 && seen != occ {
+			continue
+		}
+		_, cap, err := runScenario(sub, census, idx, r.Variant, r.Seed)
+		if err != nil {
+			if occ >= 0 {
+				return nil, seen, false
+			}
+			continue
+		}
+		if r.Sabotage {
+			sabotage(sub, cap)
+		}
+		got := checkRecovery(sub, cap)
+		for i := range got {
+			got[i].Point = cp.Name
+			got[i].Occ = seen
+			got[i].Index = idx
+			got[i].Variant = r.Variant
+		}
+		matched := false
+		for _, v := range got {
+			if matchRule == "" || v.Rule == matchRule {
+				matched = true
+				break
+			}
+		}
+		if occ >= 0 {
+			return got, seen, matched && len(got) > 0
+		}
+		if matched && len(got) > 0 {
+			return got, seen, true
+		}
+	}
+	return nil, seen, false
+}
+
+// Shrink reduces a failing exploration run to a minimal repro: it
+// repeatedly drops ops from the scenario while the crash at the same
+// named point still reproduces a violation of the same rule, until no
+// single op can be removed (ddmin with subset size 1 — schedules here are
+// tens of ops, so the quadratic pass is cheap and the result is 1-minimal).
+func Shrink(s *Scenario, v Violation, opt Options) (*Repro, error) {
+	r := &Repro{
+		Scenario: s.Name,
+		Mask:     fullMask(len(s.Ops)),
+		Point:    v.Point,
+		Occ:      v.Occ,
+		Variant:  v.Variant,
+		Seed:     opt.Seed,
+		Sabotage: opt.BreakRecovery,
+	}
+	// The un-shrunk repro must fail, else there is nothing to minimize.
+	if _, occ, ok := runRepro(s, r, -1, v.Rule); !ok {
+		return nil, fmt.Errorf("chaos: violation %q at %s does not reproduce", v.Rule, v.Point)
+	} else {
+		r.Occ = occ
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(s.Ops); i++ {
+			bit := uint64(1) << uint(i)
+			if r.Mask&bit == 0 {
+				continue
+			}
+			cand := *r
+			cand.Mask &^= bit
+			if _, occ, ok := runRepro(s, &cand, -1, v.Rule); ok {
+				cand.Occ = occ
+				*r = cand
+				changed = true
+			}
+		}
+	}
+	return r, nil
+}
+
+// Replay re-runs a repro (typically decoded from a printed seed string)
+// and returns the violations it produces. The scenario is resolved from
+// the registry.
+func Replay(r *Repro) ([]Violation, *Scenario, error) {
+	s := Lookup(r.Scenario)
+	if s == nil {
+		return nil, nil, fmt.Errorf("chaos: unknown scenario %q (have %v)", r.Scenario, Names())
+	}
+	vios, seen, ok := runRepro(s, r, r.Occ, "")
+	if !ok && vios == nil && seen < r.Occ {
+		return nil, s, fmt.Errorf("chaos: point %s#%d not crossed (only %d occurrences)",
+			r.Point, r.Occ, seen+1)
+	}
+	return vios, s, nil
+}
+
+// KeptOps returns how many ops the mask keeps.
+func (r *Repro) KeptOps() int { return bits.OnesCount64(r.Mask) }

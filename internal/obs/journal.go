@@ -54,13 +54,22 @@ const (
 	// EvScrub: a scrub pass completed. A=stripes verified, B=mismatches
 	// found, C=stripes repaired (data+parity), D=bytes read.
 	EvScrub
+	// EvDevWrite: a device accepted a write/append command — payload
+	// applied and write pointer advanced; durability still pending a
+	// flush or FUA completion. A=zone-relative start sector, B=sectors,
+	// C=write pointer after, D=flag bits (1=FUA, 2=Preflush).
+	EvDevWrite
+	// EvDevFlush: a device flush was submitted; the write-pointer
+	// snapshot taken here becomes durable when the flush completes.
+	// A=flush count after.
+	EvDevFlush
 	numEventTypes
 )
 
 var eventNames = [numEventTypes]string{
 	"zone-state", "zone-reset", "zone-finish", "block-alloc", "gc",
 	"partial-parity", "metadata-write", "relocation", "degraded",
-	"rebuild", "scrub",
+	"rebuild", "scrub", "dev-write", "dev-flush",
 }
 
 func (t EventType) String() string {
@@ -84,6 +93,8 @@ var eventFieldNames = [numEventTypes][4]string{
 	EvDegraded:      {"entered", "", "", ""},
 	EvRebuild:       {"zones_done", "zones_total", "bytes", ""},
 	EvScrub:         {"stripes", "mismatches", "repaired", "bytes_read"},
+	EvDevWrite:      {"start", "sectors", "wp_after", "flags"},
+	EvDevFlush:      {"flushes", "", "", ""},
 }
 
 // Event is one journal entry. Src identifies the emitting component: a

@@ -232,6 +232,11 @@ func (m *mdManager) appendSpan(sp *obs.Span, r *record, flags zns.Flag) (*vclock
 				m.mu.Unlock()
 				m.vol.accountMDBytes(r.typ, 1, need-1)
 				m.vol.recordMDEvent(m.dev, z, r.typ, 1, need-1)
+				name := "raizn.md.append"
+				if r.typ.base() == recPartialParity {
+					name = "raizn.pp.write"
+				}
+				m.vol.fireHook(name, m.dev, z, pba)
 				return fut, pba, nil
 			}
 			// Fall through to GC on append failure.

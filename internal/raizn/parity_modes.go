@@ -79,6 +79,11 @@ func (m *mdManager) appendMetaSpan(sp *obs.Span, r *record, flags zns.Flag) (*vc
 				// Header rides in per-block metadata: zero header sectors.
 				m.vol.accountMDBytes(r.typ, 0, need)
 				m.vol.recordMDEvent(m.dev, z, r.typ, 0, need)
+				name := "raizn.md.append"
+				if r.typ.base() == recPartialParity {
+					name = "raizn.pp.write"
+				}
+				m.vol.fireHook(name, m.dev, z, pba)
 				return fut, pba, nil
 			}
 		}

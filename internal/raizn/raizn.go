@@ -253,6 +253,12 @@ type Volume struct {
 	tracer *obs.Tracer
 	jrn    *obs.Journal
 	stats  statsCounters
+
+	// Crash-point hook (AttachHook); fired at the write plan/compute/
+	// submit boundaries, metadata and partial-parity appends, reset and
+	// rebuild steps — always outside v.mu and the zone locks. Nil until
+	// attached.
+	hook obs.Hook
 }
 
 // devTable is the immutable device-slot snapshot published under v.mu.
@@ -497,6 +503,21 @@ func (v *Volume) Metrics() *obs.Registry { return v.reg }
 // Journal returns the volume's event journal (never nil; disabled
 // unless the caller enabled it or supplied an enabled one via Config).
 func (v *Volume) Journal() *obs.Journal { return v.jrn }
+
+// AttachHook points the volume at a crash-point hook (see obs.HookPoint
+// for the point taxonomy). Attach while the volume is quiescent —
+// conventionally right after Create/Mount returns and before workload IO
+// is issued; passing nil detaches. Device-level points are attached
+// separately via zns.Device.AttachHook.
+func (v *Volume) AttachHook(h obs.Hook) { v.hook = h }
+
+// fireHook invokes the attached crash-point hook; free when detached.
+// Callers must not hold v.mu or any zone lock.
+func (v *Volume) fireHook(name string, src, zone int, arg int64) {
+	if v.hook != nil {
+		v.hook(obs.HookPoint{Name: name, Src: src, Zone: zone, Arg: arg})
+	}
+}
 
 func (v *Volume) newLogicalZone(z int) *logicalZone {
 	lz := &logicalZone{

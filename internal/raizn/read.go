@@ -298,27 +298,55 @@ func (v *Volume) readParityPiece(z int, s int64, a, b int64, dst []byte, futs *[
 	return v.readParityPieceSpan(nil, z, s, a, b, dst, futs)
 }
 
-// readParityPieceSpan is readParityPiece with a parent span.
+// readParityPieceSpan is readParityPiece with a parent span. A relocated
+// parity fragment may cover only part of the unit (a burn-split relocates
+// just the burned prefix; the remainder was written in place), so the
+// uncovered intra ranges are still read from the parity device.
 func (v *Volume) readParityPieceSpan(sp *obs.Span, z int, s int64, a, b int64, dst []byte, futs *[]subIO) error {
 	ss := int64(v.sectorSize)
+	type gap struct{ lo, hi int64 } // intra ranges not covered by reloc
+	gaps := []gap{{a, b}}
 	v.relocMu.Lock()
 	if m := v.parityReloc[z]; m != nil {
 		if e, ok := m[s]; ok {
-			copy(dst, e.data[a*ss:minI64(b, (int64(len(e.data))/ss))*ss])
-			v.relocMu.Unlock()
-			return nil
+			lo := e.startLBA - v.lt.stripeStart(z, s)
+			hi := lo + int64(len(e.data))/ss
+			cl, ch := maxI64(lo, a), minI64(hi, b)
+			if cl < ch {
+				copy(dst[(cl-a)*ss:(ch-a)*ss], e.data[(cl-lo)*ss:(ch-lo)*ss])
+				var ng []gap
+				for _, g := range gaps {
+					if ch <= g.lo || cl >= g.hi {
+						ng = append(ng, g)
+						continue
+					}
+					if g.lo < cl {
+						ng = append(ng, gap{g.lo, cl})
+					}
+					if ch < g.hi {
+						ng = append(ng, gap{ch, g.hi})
+					}
+				}
+				gaps = ng
+			}
 		}
 	}
 	v.relocMu.Unlock()
+	if len(gaps) == 0 {
+		return nil
+	}
 
 	dev := v.lt.parityDev(z, s)
 	d := v.devForZone(dev, z)
 	if d == nil {
 		return ErrInconsistent // double failure
 	}
-	pba := v.lt.parityPBA(z, s) + a
-	child := sp.Child(obs.OpDevRead, dev, pba, int64(len(dst)))
-	*futs = append(*futs, subIO{dev: dev, fut: d.ReadSpan(child, pba, dst)})
+	for _, g := range gaps {
+		pba := v.lt.parityPBA(z, s) + g.lo
+		out := dst[(g.lo-a)*ss : (g.hi-a)*ss]
+		child := sp.Child(obs.OpDevRead, dev, pba, int64(len(out)))
+		*futs = append(*futs, subIO{dev: dev, fut: d.ReadSpan(child, pba, out)})
+	}
 	return nil
 }
 

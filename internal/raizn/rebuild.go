@@ -99,6 +99,7 @@ func (v *Volume) ReplaceDevice(newDev *zns.Device) (RebuildStats, error) {
 		v.stats.waRebuildBytes.Add(n)
 		v.jrn.Record(obs.EvRebuild, slot, z,
 			int64(stats.Zones), int64(len(order)), stats.BytesWritten, 0)
+		v.fireHook("raizn.rebuild.zone", slot, z, int64(stats.Zones))
 	}
 	// Empty zones need no data; mark everything rebuilt.
 	v.mu.Lock()

@@ -484,9 +484,10 @@ func (v *Volume) repairStripe(z int, s int64, present []int64, q int64, ppLogs [
 			}
 			return v.lt.stripeSectors(), true, false, nil
 		}
-		// Degraded: one data unit is unknown; parity cannot be
-		// recomputed, but the data prefix is intact and readable.
-		return v.lt.stripeSectors(), false, false, nil
+		// Degraded: one data unit is unknown AND the parity that would
+		// serve its reads is incomplete. The unknown unit cannot be
+		// assumed full; fall through to prefix inference, which counts
+		// it only as far as surviving parity can reconstruct it.
 	}
 
 	// Data incomplete. Determine the contiguous prefix and whether the
@@ -565,12 +566,22 @@ func (v *Volume) repairStripe(z int, s int64, present []int64, q int64, ppLogs [
 	// when later evidence (data in a later unit, or partial-parity logs)
 	// proves it was full.
 	ppEnd := v.ppEndForStripe(z, s, ppLogs) // zone-relative stripe fill per pp logs, -1 none
+	// recon bounds how much of an unknown (missing-device) unit is
+	// actually reconstructible: the surviving media parity prefix, or the
+	// partial-parity log coverage. Counting anything beyond it into the
+	// zone would leave unreadable sectors below the write pointer.
+	recon := q
+	if v.cfg.ParityMode != PPZRWA {
+		if _, ppcov := v.parityImageFromLogs(z, s, ppLogs); ppcov > recon {
+			recon = ppcov
+		}
+	}
 	g = 0
 	for u := 0; u < v.lt.d; u++ {
 		p := present[u]
 		if p < 0 {
 			// Unknown unit (missing device): infer from later units
-			// and pp logs.
+			// and pp logs, capped by what parity can reconstruct.
 			inferred := int64(0)
 			for u2 := u + 1; u2 < v.lt.d; u2++ {
 				if present[u2] > 0 {
@@ -581,6 +592,12 @@ func (v *Volume) repairStripe(z int, s int64, present []int64, q int64, ppLogs [
 				if f := clampI64(ppEnd-int64(u)*su, 0, su); f > inferred {
 					inferred = f
 				}
+			}
+			if inferred > recon {
+				if recon < 0 {
+					recon = 0
+				}
+				inferred = recon
 			}
 			p = inferred
 		}

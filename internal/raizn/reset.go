@@ -80,6 +80,7 @@ func (v *Volume) doResetZone(sp *obs.Span, lz *logicalZone) error {
 	if err := v.awaitSubIOs(walFuts); err != nil {
 		return err
 	}
+	v.fireHook("raizn.reset.wal", obs.SrcLogical, z, int64(gen))
 
 	// 2. Reset every physical zone. The WAL ensures a partial group of
 	// resets is finished on the next mount.
@@ -93,6 +94,7 @@ func (v *Volume) doResetZone(sp *obs.Span, lz *logicalZone) error {
 	if err := v.awaitSubIOs(futs); err != nil {
 		return err
 	}
+	v.fireHook("raizn.reset.phys", obs.SrcLogical, z, int64(gen))
 
 	// 3. Advance the generation counter, invalidating every metadata
 	// record for the old generation (including the WAL entries), and
@@ -104,6 +106,7 @@ func (v *Volume) doResetZone(sp *obs.Span, lz *logicalZone) error {
 	if err := v.persistGenCounters(); err != nil {
 		return err
 	}
+	v.fireHook("raizn.reset.done", obs.SrcLogical, z, int64(gen+1))
 
 	// 4. Reset the in-memory zone state.
 	v.dropRelocEntries(z)
@@ -238,6 +241,7 @@ func (v *Volume) FinishZone(z int) error {
 	if err := v.awaitSubIOs(futs); err != nil {
 		return err
 	}
+	v.fireHook("raizn.finish.done", obs.SrcLogical, z, persisted)
 	// Device zone finish persists contents; reflect that logically.
 	lz.mu.Lock()
 	if persisted > lz.persistedWP {

@@ -156,6 +156,7 @@ func (v *Volume) ScrubStripe(z int, s int64, repair bool) (StripeScrubResult, er
 		v.stats.scrubbedStripes.Add(1)
 		v.setScrubPos(z, s)
 	}
+	v.fireHook("raizn.scrub.stripe", obs.SrcLogical, z, s)
 	sp.End(nil)
 	return res, nil
 }

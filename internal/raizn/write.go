@@ -115,9 +115,11 @@ func (v *Volume) runWrite(sp *obs.Span, lz *logicalZone, off int64, data []byte,
 	planErr := v.planWriteLocked(ws, lz, off, data)
 	lz.mu.Unlock()
 	sp.Mark(obs.PhasePlan)
+	v.fireHook("raizn.write.plan", obs.SrcLogical, ws.z, off)
 
 	v.computeWrite(ws)
 	sp.Mark(obs.PhaseCompute)
+	v.fireHook("raizn.write.compute", obs.SrcLogical, ws.z, off)
 
 	lz.mu.Lock()
 	for lz.submitHead != ws.ticket-1 {
@@ -125,9 +127,11 @@ func (v *Volume) runWrite(sp *obs.Span, lz *logicalZone, off int64, data []byte,
 	}
 	v.submitWriteLocked(ws, lz, planErr == nil)
 	lz.mu.Unlock()
+	v.fireHook("raizn.write.submit", obs.SrcLogical, ws.z, end)
 
 	ws.futs = v.issuePendingMD(sp, ws.pending, ws.futs)
 	sp.Mark(obs.PhaseSubmit)
+	v.fireHook("raizn.write.md", obs.SrcLogical, ws.z, end)
 
 	if planErr != nil {
 		// Mirror the legacy path: sub-IOs already issued are left to
@@ -164,6 +168,7 @@ func (v *Volume) runWrite(sp *obs.Span, lz *logicalZone, off int64, data []byte,
 				return
 			}
 		}
+		v.fireHook("raizn.write.done", obs.SrcLogical, lz.idx, end)
 		sp.End(nil)
 		result.Complete(nil)
 	})
@@ -1036,6 +1041,7 @@ func (v *Volume) SubmitFlush() *vclock.Future {
 			}
 			lz.mu.Unlock()
 		}
+		v.fireHook("raizn.flush.done", obs.SrcLogical, -1, 0)
 		sp.End(nil)
 		result.Complete(nil)
 	})

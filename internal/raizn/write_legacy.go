@@ -29,8 +29,10 @@ func (v *Volume) runWriteLegacy(sp *obs.Span, lz *logicalZone, off, end int64, f
 		sp.End(err)
 		return v.clk.Completed(err)
 	}
+	v.fireHook("raizn.write.submit", obs.SrcLogical, lz.idx, end)
 	futs = v.issuePendingMD(sp, pending, futs)
 	sp.Mark(obs.PhaseSubmit)
+	v.fireHook("raizn.write.md", obs.SrcLogical, lz.idx, end)
 
 	result := v.clk.NewFuture()
 	v.clk.Go(func() {
@@ -49,6 +51,7 @@ func (v *Volume) runWriteLegacy(sp *obs.Span, lz *logicalZone, off, end int64, f
 				return
 			}
 		}
+		v.fireHook("raizn.write.done", obs.SrcLogical, lz.idx, end)
 		sp.End(nil)
 		result.Complete(nil)
 	})

@@ -97,6 +97,14 @@ func (d *Device) WriteZRWASpan(sp *obs.Span, sector int64, data []byte, flags Fl
 	d.finalizeFullLocked(z)
 	d.hostWriteBytes += nSectors * int64(d.cfg.SectorSize)
 	d.writeCmds++
+	if d.jrn.Enabled() {
+		var fb int64
+		if flags&FUA != 0 {
+			fb |= 1
+		}
+		d.jrn.Record(obs.EvDevWrite, d.jslot, z, off, nSectors, zo.wp, fb)
+	}
+	hf := d.hookLocked("zns.cmd.zrwa", z, sector)
 
 	now := d.clk.Now()
 	occ := d.slowLocked(d.cfg.WriteOpOverhead + d.xferTime(len(data), d.cfg.WriteBandwidth))
@@ -115,6 +123,7 @@ func (d *Device) WriteZRWASpan(sp *obs.Span, sector int64, data []byte, flags Fl
 			d.persistZoneLocked(z, end)
 		}
 	})
+	fire(hf)
 	return fut
 }
 

@@ -117,10 +117,15 @@ func (d *Device) WriteSpan(sp *obs.Span, sector int64, data []byte, flags Flag) 
 
 	d.mu.Lock()
 	fut, err := d.writeLocked(sp, sector, nSectors, data, nil, flags)
+	var hf func()
+	if err == nil {
+		hf = d.hookLocked("zns.cmd.write", d.ZoneOf(sector), sector)
+	}
 	d.mu.Unlock()
 	if err != nil {
 		return d.failSpan(sp, err)
 	}
+	fire(hf)
 	return fut
 }
 
@@ -153,10 +158,15 @@ func (d *Device) WritevSpan(sp *obs.Span, sector int64, segs [][]byte, flags Fla
 
 	d.mu.Lock()
 	fut, err := d.writeLocked(sp, sector, nSectors, nil, segs, flags)
+	var hf func()
+	if err == nil {
+		hf = d.hookLocked("zns.cmd.write", d.ZoneOf(sector), sector)
+	}
 	d.mu.Unlock()
 	if err != nil {
 		return d.failSpan(sp, err)
 	}
+	fire(hf)
 	return fut
 }
 
@@ -183,10 +193,15 @@ func (d *Device) AppendSpan(sp *obs.Span, z int, data []byte, flags Flag) (int64
 	d.mu.Lock()
 	sector := d.ZoneStart(z) + d.zones[z].wp
 	fut, err := d.writeLocked(sp, sector, nSectors, data, nil, flags)
+	var hf func()
+	if err == nil {
+		hf = d.hookLocked("zns.cmd.append", z, sector)
+	}
 	d.mu.Unlock()
 	if err != nil {
 		return -1, d.failSpan(sp, err)
 	}
+	fire(hf)
 	return sector, fut
 }
 
@@ -238,6 +253,16 @@ func (d *Device) writeLocked(sp *obs.Span, sector, nSectors int64, data []byte, 
 	d.finalizeFullLocked(z)
 	d.hostWriteBytes += nSectors * int64(d.cfg.SectorSize)
 	d.writeCmds++
+	if d.jrn.Enabled() {
+		var fb int64
+		if flags&FUA != 0 {
+			fb |= 1
+		}
+		if flags&Preflush != 0 {
+			fb |= 2
+		}
+		d.jrn.Record(obs.EvDevWrite, d.jslot, z, off, nSectors, end, fb)
+	}
 
 	// A preflush acts on everything written before this command.
 	var flushSnap []int64
@@ -377,10 +402,13 @@ func (d *Device) FlushSpan(sp *obs.Span) *vclock.Future {
 	sp.MarkAt(obs.PhaseMedia, done)
 	epoch := d.epoch
 	d.flushCount++
+	d.jrn.Record(obs.EvDevFlush, d.jslot, -1, d.flushCount, 0, 0, 0)
+	hf := d.hookLocked("zns.cmd.flush", -1, d.flushCount)
 	d.mu.Unlock()
 
 	fut := d.clk.NewFuture()
 	d.schedule(sp, fut, done, epoch, nil, func() { d.persistSnapshotLocked(snap) })
+	fire(hf)
 	return fut
 }
 
@@ -475,10 +503,12 @@ func (d *Device) ResetZoneSpan(sp *obs.Span, z int) *vclock.Future {
 	done := reservePipe(&d.writeBusy, now, d.cfg.ResetLatency)
 	sp.MarkAt(obs.PhaseMedia, done)
 	epoch := d.epoch
+	hf := d.hookLocked("zns.zone.reset", z, wpBefore)
 	d.mu.Unlock()
 
 	fut := d.clk.NewFuture()
 	d.schedule(sp, fut, done, epoch, nil, nil)
+	fire(hf)
 	return fut
 }
 
@@ -524,9 +554,11 @@ func (d *Device) FinishZoneSpan(sp *obs.Span, z int) *vclock.Future {
 	done := reservePipe(&d.writeBusy, now, d.cfg.FinishLatency)
 	sp.MarkAt(obs.PhaseMedia, done)
 	epoch := d.epoch
+	hf := d.hookLocked("zns.zone.finish", z, wpBefore)
 	d.mu.Unlock()
 
 	fut := d.clk.NewFuture()
 	d.schedule(sp, fut, done, epoch, nil, nil)
+	fire(hf)
 	return fut
 }

@@ -85,3 +85,31 @@ func (d *Device) Journal() *obs.Journal {
 	defer d.mu.Unlock()
 	return d.jrn
 }
+
+// AttachHook points the device at a crash-point hook: every accepted
+// write/append/flush command and zone reset/finish fires one obs.HookPoint
+// under source slot, after the state transition is applied and with no
+// device lock held. Attach before issuing IO; passing nil detaches.
+func (d *Device) AttachHook(h obs.Hook, slot int) {
+	d.mu.Lock()
+	d.hook, d.hslot = h, slot
+	d.mu.Unlock()
+}
+
+// hookLocked returns a fire closure for the named point, or nil when no
+// hook is attached. Caller holds d.mu; the returned closure must be
+// invoked after d.mu is released (hooks may call back into the device).
+func (d *Device) hookLocked(name string, zone int, arg int64) func() {
+	if d.hook == nil {
+		return nil
+	}
+	h, p := d.hook, obs.HookPoint{Name: name, Src: d.hslot, Zone: zone, Arg: arg}
+	return func() { h(p) }
+}
+
+// fire invokes a hookLocked closure; no-op on nil.
+func fire(f func()) {
+	if f != nil {
+		f()
+	}
+}

@@ -1,6 +1,10 @@
 package zns
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"raizn/internal/vclock"
+)
 
 // Fail marks the device as dead: every subsequent operation returns
 // ErrDeviceFailed. In-flight operations complete normally (their data had
@@ -101,6 +105,81 @@ func (d *Device) applyCutLocked(z int, cut int64) {
 	zo.wp = cut
 	zo.pwp = cut
 	zo.unflushed = nil
+}
+
+// CrashClone returns a new device, bound to clk, whose state is this
+// device's state after an abrupt power loss — without disturbing the
+// receiver. It is the explorer's snapshot primitive: the live run keeps
+// executing while recovery is exercised against the clone.
+//
+// Cut-point selection per zone, in precedence order: an entry in cuts
+// (PowerLossAt semantics — clamped to [pwp, wp]); else a draw from rng
+// (PowerLoss semantics); else the persisted prefix only (the most
+// pessimistic legal outcome). The clone carries no journal, metrics or
+// hook attachments, and its lifetime counters start at zero.
+func (d *Device) CrashClone(clk *vclock.Clock, rng *rand.Rand, cuts map[int]int64) *Device {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if clk == nil {
+		clk = d.clk
+	}
+	c := &Device{
+		cfg:    d.cfg,
+		clk:    clk,
+		zones:  make([]zone, len(d.zones)),
+		failed: d.failed,
+	}
+	for z := range d.zones {
+		zo := d.zones[z]
+		cz := zo
+		if zo.data != nil {
+			cz.data = append([]byte(nil), zo.data...)
+		}
+		cz.unflushed = append([]extent(nil), zo.unflushed...)
+		c.zones[z] = cz
+	}
+	if d.latentErrs != nil {
+		c.latentErrs = make(map[int64]bool, len(d.latentErrs))
+		for s, v := range d.latentErrs {
+			c.latentErrs[s] = v
+		}
+	}
+	if d.meta != nil {
+		c.meta = make(map[int64][]byte, len(d.meta))
+		for s, m := range d.meta {
+			c.meta[s] = append([]byte(nil), m...)
+		}
+	}
+	// The clone is unshared, so its zone mutators run without its lock.
+	for z := range c.zones {
+		cut := c.zones[z].pwp
+		switch {
+		case cuts != nil:
+			if x, ok := cuts[z]; ok {
+				if x < cut {
+					x = cut
+				}
+				if x > c.zones[z].wp {
+					x = c.zones[z].wp
+				}
+				cut = x
+			}
+		case rng != nil:
+			cut = c.pickCutLocked(z, rng)
+		}
+		c.applyCutLocked(z, cut)
+	}
+	c.finishPowerCycleLocked()
+	// Per-block metadata shares the fate of its sector's data.
+	if c.meta != nil {
+		for s := range c.meta {
+			z := c.ZoneOf(s)
+			if s-c.ZoneStart(z) >= c.zones[z].wp {
+				delete(c.meta, s)
+			}
+		}
+	}
+	return c
 }
 
 // finishPowerCycleLocked recomputes zone states and resets volatile

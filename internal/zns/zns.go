@@ -255,6 +255,11 @@ type Device struct {
 	// free when disabled, so the hot path never branches on it.
 	jrn   *obs.Journal
 	jslot int
+
+	// Crash-point hook (AttachHook); fired once per accepted command and
+	// zone operation, outside d.mu. Nil until attached.
+	hook  obs.Hook
+	hslot int
 }
 
 // NewDevice creates a device with every zone empty. It panics on invalid
