@@ -2,7 +2,9 @@
 // scripted workload, and dumps volume, logical-zone, and per-device
 // physical-zone state — the debugging view of the address-space layout
 // of §4.1 — plus the device-health and scrub-progress view of the
-// background scrub subsystem.
+// background scrub subsystem. With -serve it instead dumps the
+// multi-tenant serving stack: a volume's extent map across hosted
+// arrays, the per-tenant QoS table, and the SLO alarm.
 package main
 
 import (
@@ -28,11 +30,16 @@ func main() {
 	doScrub := flag.Bool("scrub", false, "run one repair scrub pass before dumping")
 	trace := flag.Bool("trace", false, "trace a mixed read/write workload: per-phase breakdown, queue-depth timeline, watchdog-flagged slow IOs")
 	zones := flag.Bool("zones", false, "zone-state observability: heatmap, occupancy timeline, lifetime stats, layered WA report")
+	serve := flag.Bool("serve", false, "multi-tenant serving view: extent map, per-tenant QoS table, SLO alarm breaches")
 	slowDev := flag.Int("slow-dev", 2, "device to slow during the traced workload (with -trace)")
 	slowFactor := flag.Float64("slow-factor", 8, "service-time multiplier applied to -slow-dev (with -trace)")
 	flag.Parse()
 
 	clk := vclock.New()
+	if *serve {
+		clk.Run(func() { runServeView(clk) })
+		return
+	}
 	clk.Run(func() {
 		cfg := zns.DefaultConfig()
 		cfg.NumZones = 12

@@ -118,11 +118,14 @@ func metricDirection(name string) int {
 	switch {
 	case strings.Contains(name, "mib_s"), strings.Contains(name, "iops"),
 		strings.Contains(name, "gain"), strings.Contains(name, "speedup"),
-		strings.Contains(name, "reduction"), strings.Contains(name, "free"):
+		strings.Contains(name, "reduction"), strings.Contains(name, "free"),
+		strings.Contains(name, "jain"):
 		return 1
 	case strings.HasSuffix(name, "_us"), strings.HasSuffix(name, "_ns_op"),
 		strings.HasSuffix(name, "_allocs_op"), strings.Contains(name, "lat"),
-		strings.Contains(name, "_wa"), strings.Contains(name, "drop"):
+		strings.Contains(name, "_wa"), strings.Contains(name, "drop"),
+		strings.Contains(name, "shed"), strings.Contains(name, "overhead"),
+		strings.Contains(name, "breach"):
 		return -1
 	}
 	return 0

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLabeledName(t *testing.T) {
+	cases := []struct {
+		base string
+		kv   []string
+		want string
+	}{
+		{"raizn_writes_total", nil, "raizn_writes_total"},
+		{"raizn_writes_total", []string{"array", "a0"},
+			`raizn_writes_total{array="a0"}`},
+		// Keys render in sorted order regardless of argument order.
+		{"volmgr_shed_total", []string{"volume", "v", "tenant", "t1"},
+			`volmgr_shed_total{tenant="t1",volume="v"}`},
+		{"volmgr_shed_total", []string{"tenant", "t1", "volume", "v"},
+			`volmgr_shed_total{tenant="t1",volume="v"}`},
+		// Empty values drop their pair; all-empty falls back to the bare
+		// name so single-instance registrations keep byte-stable series.
+		{"raizn_writes_total", []string{"array", ""}, "raizn_writes_total"},
+		{"x", []string{"a", "", "b", "2"}, `x{b="2"}`},
+		// Label values are escaped per the text exposition format.
+		{"x", []string{"k", `a"b` + "\n" + `c\d`}, `x{k="a\"b\nc\\d"}`},
+	}
+	for _, c := range cases {
+		if got := LabeledName(c.base, c.kv...); got != c.want {
+			t.Errorf("LabeledName(%q, %v) = %q, want %q", c.base, c.kv, got, c.want)
+		}
+	}
+}
+
+func TestLabeledNameOddPairsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("odd kv list did not panic")
+		}
+	}()
+	LabeledName("x", "key_without_value")
+}
+
+func TestMetricFamily(t *testing.T) {
+	cases := map[string]string{
+		"raizn_writes_total":             "raizn_writes_total",
+		`raizn_writes_total{array="a0"}`: "raizn_writes_total",
+		`v{tenant="t1",volume="v"}`:      "v",
+	}
+	for in, want := range cases {
+		if got := MetricFamily(in); got != want {
+			t.Errorf("MetricFamily(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestPrometheusLabeledFamilies checks the exporter groups labeled
+// series under one HELP/TYPE pair per family, and that a registry with
+// only bare names keeps the historical one-head-per-metric output.
+func TestPrometheusLabeledFamilies(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(LabeledName("raizn_full_writes_total", "array", "a1")).Add(2)
+	r.Counter(LabeledName("raizn_full_writes_total", "array", "a0")).Add(1)
+	r.Help("raizn_full_writes_total", "full-stripe writes")
+	r.Gauge("plain_gauge").Set(7)
+
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := b.String()
+
+	if n := strings.Count(out, "# TYPE raizn_full_writes_total counter"); n != 1 {
+		t.Errorf("want exactly one TYPE line for the family, got %d\n%s", n, out)
+	}
+	if n := strings.Count(out, "# HELP raizn_full_writes_total full-stripe writes"); n != 1 {
+		t.Errorf("want exactly one HELP line for the family, got %d\n%s", n, out)
+	}
+	// Series sorted within the family, directly after the head.
+	a0 := strings.Index(out, `raizn_full_writes_total{array="a0"} 1`)
+	a1 := strings.Index(out, `raizn_full_writes_total{array="a1"} 2`)
+	ty := strings.Index(out, "# TYPE raizn_full_writes_total")
+	if a0 < 0 || a1 < 0 || !(ty < a0 && a0 < a1) {
+		t.Errorf("labeled series missing or out of order:\n%s", out)
+	}
+	if !strings.Contains(out, "plain_gauge 7") {
+		t.Errorf("bare series lost:\n%s", out)
+	}
+}
+
+// TestPrometheusLabeledHistogram checks quantile labels merge into an
+// existing label set and _sum/_count suffixes go before the labels.
+func TestPrometheusLabeledHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(LabeledName("volmgr_request_latency", "tenant", "t1"))
+	h.Record(time.Millisecond)
+
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`volmgr_request_latency{tenant="t1",quantile="0.5"}`,
+		`volmgr_request_latency_sum{tenant="t1"}`,
+		`volmgr_request_latency_count{tenant="t1"} 1`,
+		"# TYPE volmgr_request_latency summary",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLabeledCountersDistinct is the collision regression test: two
+// components registering the same base name with different labels must
+// get independent counters, not a silently shared one.
+func TestLabeledCountersDistinct(t *testing.T) {
+	r := NewRegistry()
+	c0 := r.Counter(LabeledName("raizn_writes_total", "array", "a0"))
+	c1 := r.Counter(LabeledName("raizn_writes_total", "array", "a1"))
+	if c0 == c1 {
+		t.Fatalf("differently-labeled series share one counter")
+	}
+	c0.Add(5)
+	c1.Add(9)
+	s := r.Snapshot()
+	if got := s.Counters[`raizn_writes_total{array="a0"}`]; got != 5 {
+		t.Errorf("a0 = %d, want 5", got)
+	}
+	if got := s.Counters[`raizn_writes_total{array="a1"}`]; got != 9 {
+		t.Errorf("a1 = %d, want 9", got)
+	}
+}

@@ -89,6 +89,13 @@ type Config struct {
 	// creates a private registry (counters still work; they are just not
 	// shared with other components).
 	Metrics *obs.Registry
+	// MetricsLabel namespaces this volume's raizn_* counters and gauges
+	// when several arrays share one registry: a non-empty label turns
+	// every series into raizn_*{array="<label>"} so a volume manager
+	// hosting many arrays gets per-array series instead of silently
+	// summed counters. Empty keeps the bare names — the single-array
+	// exporter output is unchanged.
+	MetricsLabel string
 	// Tracer collects per-request spans through the write/read/reset and
 	// scrub paths. Nil creates a private, disabled tracer; tracing costs
 	// nothing until it is enabled.
@@ -474,14 +481,14 @@ func newVolume(clk *vclock.Clock, devs []*zns.Device, cfg Config) (*Volume, erro
 			v.md[i] = newMDManager(v, i)
 		}
 	}
-	v.stats = newStatsCounters(reg)
+	v.stats = newStatsCounters(reg, cfg.MetricsLabel)
 	registerWAHelp(reg)
-	reg.GaugeFunc("raizn_degraded_slot", func() int64 {
+	reg.GaugeFunc(obs.LabeledName("raizn_degraded_slot", "array", cfg.MetricsLabel), func() int64 {
 		v.mu.Lock()
 		defer v.mu.Unlock()
 		return int64(v.degraded)
 	})
-	reg.GaugeFunc("raizn_open_zones", func() int64 {
+	reg.GaugeFunc(obs.LabeledName("raizn_open_zones", "array", cfg.MetricsLabel), func() int64 {
 		v.mu.Lock()
 		defer v.mu.Unlock()
 		return int64(v.openCount)

@@ -70,35 +70,40 @@ type statsCounters struct {
 	waRebuildBytes   *obs.Counter // reconstruction writes to a replacement device
 }
 
-func newStatsCounters(r *obs.Registry) statsCounters {
+func newStatsCounters(r *obs.Registry, label string) statsCounters {
+	// A non-empty array label turns every series into name{array="..."}
+	// so multiple arrays sharing one registry keep distinct counters; an
+	// empty label preserves the original bare names (see Config.
+	// MetricsLabel).
+	n := func(name string) string { return obs.LabeledName(name, "array", label) }
 	return statsCounters{
-		logicalWriteBytes: r.Counter("raizn_logical_write_bytes"),
-		logicalReadBytes:  r.Counter("raizn_logical_read_bytes"),
-		partialParityLogs: r.Counter("raizn_partial_parity_logs_total"),
-		zrwaParityWrites:  r.Counter("raizn_zrwa_parity_writes_total"),
-		fullParityWrites:  r.Counter("raizn_full_parity_writes_total"),
-		relocations:       r.Counter("raizn_relocations_total"),
-		zoneResets:        r.Counter("raizn_zone_resets_total"),
-		metadataGCs:       r.Counter("raizn_metadata_gcs_total"),
-		degradedReads:     r.Counter("raizn_degraded_reads_total"),
+		logicalWriteBytes: r.Counter(n("raizn_logical_write_bytes")),
+		logicalReadBytes:  r.Counter(n("raizn_logical_read_bytes")),
+		partialParityLogs: r.Counter(n("raizn_partial_parity_logs_total")),
+		zrwaParityWrites:  r.Counter(n("raizn_zrwa_parity_writes_total")),
+		fullParityWrites:  r.Counter(n("raizn_full_parity_writes_total")),
+		relocations:       r.Counter(n("raizn_relocations_total")),
+		zoneResets:        r.Counter(n("raizn_zone_resets_total")),
+		metadataGCs:       r.Counter(n("raizn_metadata_gcs_total")),
+		degradedReads:     r.Counter(n("raizn_degraded_reads_total")),
 
-		coalescedSubWrites: r.Counter("raizn_coalesced_sub_writes_total"),
+		coalescedSubWrites: r.Counter(n("raizn_coalesced_sub_writes_total")),
 
-		checksumRecords:     r.Counter("raizn_checksum_records_total"),
-		readErrorRepairs:    r.Counter("raizn_read_error_repairs_total"),
-		scrubbedStripes:     r.Counter("raizn_scrubbed_stripes_total"),
-		scrubSkippedStripes: r.Counter("raizn_scrub_skipped_stripes_total"),
-		scrubMismatches:     r.Counter("raizn_scrub_mismatches_total"),
-		scrubRepairedData:   r.Counter("raizn_scrub_repaired_data_total"),
-		scrubRepairedParity: r.Counter("raizn_scrub_repaired_parity_total"),
-		scrubUnrepaired:     r.Counter("raizn_scrub_unrepaired_total"),
+		checksumRecords:     r.Counter(n("raizn_checksum_records_total")),
+		readErrorRepairs:    r.Counter(n("raizn_read_error_repairs_total")),
+		scrubbedStripes:     r.Counter(n("raizn_scrubbed_stripes_total")),
+		scrubSkippedStripes: r.Counter(n("raizn_scrub_skipped_stripes_total")),
+		scrubMismatches:     r.Counter(n("raizn_scrub_mismatches_total")),
+		scrubRepairedData:   r.Counter(n("raizn_scrub_repaired_data_total")),
+		scrubRepairedParity: r.Counter(n("raizn_scrub_repaired_parity_total")),
+		scrubUnrepaired:     r.Counter(n("raizn_scrub_unrepaired_total")),
 
-		waDataBytes:      r.Counter("raizn_wa_data_bytes"),
-		waParityBytes:    r.Counter("raizn_wa_parity_bytes"),
-		waPPHeaderBytes:  r.Counter("raizn_wa_pp_header_bytes"),
-		waPPPayloadBytes: r.Counter("raizn_wa_pp_payload_bytes"),
-		waMetadataBytes:  r.Counter("raizn_wa_metadata_bytes"),
-		waRebuildBytes:   r.Counter("raizn_wa_rebuild_bytes"),
+		waDataBytes:      r.Counter(n("raizn_wa_data_bytes")),
+		waParityBytes:    r.Counter(n("raizn_wa_parity_bytes")),
+		waPPHeaderBytes:  r.Counter(n("raizn_wa_pp_header_bytes")),
+		waPPPayloadBytes: r.Counter(n("raizn_wa_pp_payload_bytes")),
+		waMetadataBytes:  r.Counter(n("raizn_wa_metadata_bytes")),
+		waRebuildBytes:   r.Counter(n("raizn_wa_rebuild_bytes")),
 	}
 }
 

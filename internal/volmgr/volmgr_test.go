@@ -1,0 +1,542 @@
+package volmgr
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"raizn/internal/obs"
+	"raizn/internal/raizn"
+	"raizn/internal/vclock"
+	"raizn/internal/zns"
+)
+
+// testDevConfig mirrors the raizn package's small-device geometry: with
+// 3 devices and the default stripe unit, each array exposes 5 logical
+// zones of 256 sectors.
+func testDevConfig() zns.Config {
+	cfg := zns.DefaultConfig()
+	cfg.NumZones = 8
+	cfg.ZoneSize = 160
+	cfg.ZoneCap = 128
+	cfg.MaxOpenZones = 8
+	cfg.MaxActiveZones = 10
+	return cfg
+}
+
+func newTestArray(t *testing.T, clk *vclock.Clock, reg *obs.Registry, label string) *raizn.Volume {
+	return newTestArrayCfg(t, clk, reg, label, testDevConfig())
+}
+
+func newTestArrayCfg(t *testing.T, clk *vclock.Clock, reg *obs.Registry, label string, dc zns.Config) *raizn.Volume {
+	t.Helper()
+	devs := make([]*zns.Device, 3)
+	for i := range devs {
+		devs[i] = zns.NewDevice(clk, dc)
+	}
+	cfg := raizn.DefaultConfig()
+	cfg.Metrics = reg
+	cfg.MetricsLabel = label
+	v, err := raizn.Create(clk, devs, cfg)
+	if err != nil {
+		t.Fatalf("raizn.Create(%s): %v", label, err)
+	}
+	return v
+}
+
+// newTestManager hosts n arrays a0..a(n-1) under one registry.
+func newTestManager(t *testing.T, clk *vclock.Clock, n int) *Manager {
+	t.Helper()
+	m := NewManager(clk, Config{})
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("a%d", i)
+		if _, err := m.AddArray(id, newTestArray(t, clk, m.Metrics(), id)); err != nil {
+			t.Fatalf("AddArray(%s): %v", id, err)
+		}
+	}
+	return m
+}
+
+func pattern(tenant string, lba int64, n int, ss int) []byte {
+	out := make([]byte, n*ss)
+	seed := byte(len(tenant))
+	for _, c := range []byte(tenant) {
+		seed ^= c
+	}
+	for i := 0; i < n; i++ {
+		cur := lba + int64(i)
+		for j := 0; j < ss; j++ {
+			out[i*ss+j] = seed ^ byte(cur) ^ byte(j) ^ byte(cur>>8)
+		}
+	}
+	return out
+}
+
+// TestExtentMapRoundRobin checks that volume zones stripe across arrays
+// in registration order and that placement is reproducible.
+func TestExtentMapRoundRobin(t *testing.T) {
+	clk := vclock.New()
+	clk.Run(func() {
+		m := newTestManager(t, clk, 3)
+		v, err := m.CreateVolume("vol", VolumeSpec{
+			Zones:   6,
+			Tenants: []TenantConfig{{ID: "t0"}},
+		})
+		if err != nil {
+			t.Fatalf("CreateVolume: %v", err)
+		}
+		want := []ExtentDesc{
+			{Index: 0, Array: "a0", Zone: 0},
+			{Index: 1, Array: "a1", Zone: 0},
+			{Index: 2, Array: "a2", Zone: 0},
+			{Index: 3, Array: "a0", Zone: 1},
+			{Index: 4, Array: "a1", Zone: 1},
+			{Index: 5, Array: "a2", Zone: 1},
+		}
+		got := v.ExtentMap()
+		if len(got) != len(want) {
+			t.Fatalf("extent map has %d entries, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("extent %d = %+v, want %+v", i, got[i], want[i])
+			}
+		}
+		// A second volume continues where the cursor left off.
+		v2, err := m.CreateVolume("vol2", VolumeSpec{Zones: 2, Tenants: []TenantConfig{{ID: "t0"}}})
+		if err != nil {
+			t.Fatalf("CreateVolume(vol2): %v", err)
+		}
+		em := v2.ExtentMap()
+		if em[0].Array != "a0" || em[0].Zone != 2 || em[1].Array != "a1" || em[1].Zone != 2 {
+			t.Errorf("second volume extents = %+v, want a0/2, a1/2", em)
+		}
+		if err := m.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	})
+}
+
+// TestWriteReadAcrossExtents writes every zone of a volume spanning two
+// arrays and reads the data back through the engine.
+func TestWriteReadAcrossExtents(t *testing.T) {
+	clk := vclock.New()
+	clk.Run(func() {
+		m := newTestManager(t, clk, 2)
+		v, err := m.CreateVolume("vol", VolumeSpec{
+			Zones:   4,
+			Tenants: []TenantConfig{{ID: "t0"}},
+		})
+		if err != nil {
+			t.Fatalf("CreateVolume: %v", err)
+		}
+		zs := v.ZoneSectors()
+		ss := v.SectorSize()
+		const chunk = 16
+		for z := 0; z < v.NumZones(); z++ {
+			for off := int64(0); off < zs; off += chunk {
+				lba := int64(z)*zs + off
+				if err := v.Write("t0", lba, pattern("t0", lba, chunk, ss), 0); err != nil {
+					t.Fatalf("Write z%d off%d: %v", z, off, err)
+				}
+			}
+		}
+		for z := 0; z < v.NumZones(); z++ {
+			lba := int64(z) * zs
+			buf := make([]byte, int(zs)*ss)
+			if err := v.Read("t0", lba, buf); err != nil {
+				t.Fatalf("Read z%d: %v", z, err)
+			}
+			want := pattern("t0", lba, int(zs), ss)
+			for i := range want {
+				if buf[i] != want[i] {
+					t.Fatalf("zone %d data mismatch at byte %d", z, i)
+				}
+			}
+		}
+		if err := m.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	})
+}
+
+// TestValidationErrors exercises the synchronous error paths.
+func TestValidationErrors(t *testing.T) {
+	clk := vclock.New()
+	clk.Run(func() {
+		m := newTestManager(t, clk, 1)
+		if _, err := m.CreateVolume("vol", VolumeSpec{Zones: 100}); !errors.Is(err, ErrNoSpace) {
+			t.Errorf("oversized volume: err = %v, want ErrNoSpace", err)
+		}
+		v, err := m.CreateVolume("vol", VolumeSpec{Zones: 2, Tenants: []TenantConfig{{ID: "t0"}}})
+		if err != nil {
+			t.Fatalf("CreateVolume: %v", err)
+		}
+		if _, err := m.CreateVolume("vol", VolumeSpec{Zones: 1}); !errors.Is(err, ErrExists) {
+			t.Errorf("duplicate volume: err = %v, want ErrExists", err)
+		}
+		ss := v.SectorSize()
+		zs := v.ZoneSectors()
+		if _, err := v.SubmitWrite("t0", 0, make([]byte, ss-1), 0); !errors.Is(err, ErrUnaligned) {
+			t.Errorf("unaligned write: err = %v, want ErrUnaligned", err)
+		}
+		if _, err := v.SubmitWrite("t0", v.NumSectors(), make([]byte, ss), 0); !errors.Is(err, ErrOutOfRange) {
+			t.Errorf("out-of-range write: err = %v, want ErrOutOfRange", err)
+		}
+		if _, err := v.SubmitWrite("t0", zs-1, make([]byte, 2*ss), 0); !errors.Is(err, ErrExtentBoundary) {
+			t.Errorf("boundary-crossing write: err = %v, want ErrExtentBoundary", err)
+		}
+		if _, err := v.SubmitWrite("nobody", 0, make([]byte, ss), 0); !errors.Is(err, ErrUnknownTenant) {
+			t.Errorf("unknown tenant: err = %v, want ErrUnknownTenant", err)
+		}
+		if err := v.AddTenant(TenantConfig{ID: "t0"}); err == nil {
+			t.Errorf("duplicate tenant registration succeeded")
+		}
+		if err := v.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		if _, err := v.SubmitWrite("t0", 0, make([]byte, ss), 0); !errors.Is(err, ErrClosed) {
+			t.Errorf("write after close: err = %v, want ErrClosed", err)
+		}
+		if err := m.Close(); err != nil {
+			t.Fatalf("manager Close: %v", err)
+		}
+	})
+}
+
+// TestAdmissionControlSheds fills a depth-bounded queue faster than the
+// engine drains it and checks the overflow is shed with the typed
+// error.
+func TestAdmissionControlSheds(t *testing.T) {
+	clk := vclock.New()
+	clk.Run(func() {
+		m := newTestManager(t, clk, 1)
+		v, err := m.CreateVolume("vol", VolumeSpec{
+			Zones:  1,
+			Engine: EngineConfig{QueueDepth: 4, MaxInflight: 1, BatchSize: 1},
+			Tenants: []TenantConfig{
+				// A tight rate limit keeps the queue from draining under us.
+				{ID: "t0", RateSectorsPerSec: 16, BurstSectors: 1},
+			},
+		})
+		if err != nil {
+			t.Fatalf("CreateVolume: %v", err)
+		}
+		ss := v.SectorSize()
+		var futs []*vclock.Future
+		var shed int
+		var terr *ThrottledError
+		for i := 0; i < 32; i++ {
+			fut, err := v.SubmitWrite("t0", int64(i), pattern("t0", int64(i), 1, ss), 0)
+			switch {
+			case err == nil:
+				futs = append(futs, fut)
+			case errors.Is(err, ErrThrottled):
+				shed++
+				if !errors.As(err, &terr) {
+					t.Fatalf("throttled error is not a *ThrottledError: %v", err)
+				}
+			default:
+				t.Fatalf("SubmitWrite: %v", err)
+			}
+		}
+		if shed == 0 {
+			t.Fatalf("no request was shed despite queue depth 4 and 32 submissions")
+		}
+		if terr.Tenant != "t0" || terr.Volume != "vol" {
+			t.Errorf("ThrottledError = %+v, want tenant t0 volume vol", terr)
+		}
+		if err := vclock.WaitAll(futs...); err != nil {
+			t.Fatalf("accepted writes failed: %v", err)
+		}
+		st := v.TenantStats()[0]
+		if st.Shed != int64(shed) || st.Accepted != int64(len(futs)) {
+			t.Errorf("stats accepted=%d shed=%d, want %d/%d", st.Accepted, st.Shed, len(futs), shed)
+		}
+		if err := m.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	})
+}
+
+// TestRateLimitStretchesTime checks the token bucket paces a tenant to
+// its configured rate in virtual time.
+func TestRateLimitStretchesTime(t *testing.T) {
+	clk := vclock.New()
+	clk.Run(func() {
+		m := newTestManager(t, clk, 1)
+		v, err := m.CreateVolume("vol", VolumeSpec{
+			Zones: 1,
+			Tenants: []TenantConfig{
+				{ID: "t0", RateSectorsPerSec: 64, BurstSectors: 1},
+			},
+		})
+		if err != nil {
+			t.Fatalf("CreateVolume: %v", err)
+		}
+		ss := v.SectorSize()
+		const total = 128 // sectors; at 64/s this takes ~2s of virtual time
+		start := clk.Now()
+		for lba := int64(0); lba < total; lba += 4 {
+			if err := v.Write("t0", lba, pattern("t0", lba, 4, ss), 0); err != nil {
+				t.Fatalf("Write: %v", err)
+			}
+		}
+		elapsed := clk.Now() - start
+		if min := 1500 * time.Millisecond; elapsed < min {
+			t.Errorf("128 sectors at 64/s finished in %v, want >= %v", elapsed, min)
+		}
+		if err := m.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	})
+}
+
+// TestWeightedFairness backlogs two tenants with a 2:1 weight split on
+// one array and checks completed bytes track the weights within 10%.
+// The measurement window is the heavy tenant's steady-state middle —
+// snapshots at 25% and 100% of its submissions — so start-up transients
+// (one tenant's queue filling first) and tail drain don't skew it.
+func TestWeightedFairness(t *testing.T) {
+	clk := vclock.New()
+	clk.Run(func() {
+		// Bigger zones than the default test geometry: the steady-state
+		// window needs a few hundred chunks to average over.
+		dc := testDevConfig()
+		dc.ZoneSize = 640
+		dc.ZoneCap = 512
+		m := NewManager(clk, Config{})
+		if _, err := m.AddArray("a0", newTestArrayCfg(t, clk, m.Metrics(), "a0", dc)); err != nil {
+			t.Fatalf("AddArray: %v", err)
+		}
+		v, err := m.CreateVolume("vol", VolumeSpec{
+			Zones:  4,
+			Engine: EngineConfig{QueueDepth: 32, MaxInflight: 4, BatchSize: 4, QuantumSectors: 16},
+			Tenants: []TenantConfig{
+				{ID: "heavy", Weight: 2},
+				{ID: "light", Weight: 1},
+			},
+		})
+		if err != nil {
+			t.Fatalf("CreateVolume: %v", err)
+		}
+		ss := v.SectorSize()
+		zs := v.ZoneSectors()
+		const chunk = 16
+		chunksPerTenant := int(2 * zs / chunk) // two zones each
+		wg := clk.NewWaitGroup()
+		var snapStart, snapEnd []TenantStats
+		runTenant := func(id string, firstZone int64) {
+			defer wg.Done()
+			var futs []*vclock.Future
+			for i := 0; i < chunksPerTenant; i++ {
+				lba := (firstZone+int64(i)/(zs/chunk))*zs + int64(i)%(zs/chunk)*chunk
+				fut, err := v.SubmitWrite(id, lba, pattern(id, lba, chunk, ss), 0)
+				if errors.Is(err, ErrThrottled) {
+					clk.Sleep(time.Millisecond)
+					i--
+					continue
+				}
+				if err != nil {
+					t.Errorf("%s SubmitWrite: %v", id, err)
+					return
+				}
+				futs = append(futs, fut)
+				if len(futs) >= 16 {
+					if err := futs[0].Wait(); err != nil {
+						t.Errorf("%s write failed: %v", id, err)
+						return
+					}
+					futs = futs[1:]
+				}
+				if id == "heavy" {
+					switch i {
+					case chunksPerTenant / 4:
+						snapStart = v.TenantStats()
+					case chunksPerTenant - 1:
+						snapEnd = v.TenantStats()
+					}
+				}
+			}
+			if err := vclock.WaitAll(futs...); err != nil {
+				t.Errorf("%s drain: %v", id, err)
+			}
+		}
+		wg.Add(2)
+		clk.Go(func() { runTenant("heavy", 0) })
+		clk.Go(func() { runTenant("light", 2) })
+		wg.Wait()
+
+		delta := func(stats []TenantStats, id string) int64 {
+			for _, st := range stats {
+				if st.ID == id {
+					return st.CompletedBytes
+				}
+			}
+			return 0
+		}
+		heavy := delta(snapEnd, "heavy") - delta(snapStart, "heavy")
+		light := delta(snapEnd, "light") - delta(snapStart, "light")
+		if light == 0 {
+			t.Fatalf("light tenant completed nothing in the window (heavy=%d)", heavy)
+		}
+		ratio := float64(heavy) / float64(light)
+		if ratio < 1.8 || ratio > 2.2 {
+			t.Errorf("2:1 weights produced byte ratio %.3f (heavy=%d light=%d), want within 10%% of 2",
+				ratio, heavy, light)
+		}
+		if err := m.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	})
+}
+
+// TestCoalescing checks contiguous same-tenant writes merge into fewer
+// array commands and the data still reads back intact.
+func TestCoalescing(t *testing.T) {
+	clk := vclock.New()
+	clk.Run(func() {
+		m := newTestManager(t, clk, 1)
+		v, err := m.CreateVolume("vol", VolumeSpec{
+			Zones:   1,
+			Engine:  EngineConfig{BatchSize: 8, MaxInflight: 8},
+			Tenants: []TenantConfig{{ID: "t0"}},
+		})
+		if err != nil {
+			t.Fatalf("CreateVolume: %v", err)
+		}
+		ss := v.SectorSize()
+		var futs []*vclock.Future
+		const n = 32
+		for i := int64(0); i < n; i++ {
+			fut, err := v.SubmitWrite("t0", i*4, pattern("t0", i*4, 4, ss), 0)
+			if err != nil {
+				t.Fatalf("SubmitWrite %d: %v", i, err)
+			}
+			futs = append(futs, fut)
+		}
+		if err := vclock.WaitAll(futs...); err != nil {
+			t.Fatalf("writes failed: %v", err)
+		}
+		co := m.Metrics().Counter(obs.LabeledName("volmgr_coalesced_requests_total", "volume", "vol")).Load()
+		if co == 0 {
+			t.Errorf("no coalescing happened across %d contiguous queued writes", n)
+		}
+		buf := make([]byte, n*4*ss)
+		if err := v.Read("t0", 0, buf); err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+		want := pattern("t0", 0, n*4, ss)
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("data mismatch at byte %d after coalesced writes", i)
+			}
+		}
+		if err := m.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	})
+}
+
+// TestManyTenantsConcurrent drives many tenant goroutines with
+// pipelined async submissions through one volume spanning several
+// arrays — the test the race detector cares about.
+func TestManyTenantsConcurrent(t *testing.T) {
+	clk := vclock.New()
+	clk.Run(func() {
+		m := newTestManager(t, clk, 4)
+		const tenants = 16
+		var tcs []TenantConfig
+		for i := 0; i < tenants; i++ {
+			tcs = append(tcs, TenantConfig{ID: fmt.Sprintf("t%02d", i)})
+		}
+		v, err := m.CreateVolume("vol", VolumeSpec{
+			Zones:   tenants,
+			Engine:  EngineConfig{QueueDepth: 16, MaxInflight: 32, BatchSize: 8},
+			Tenants: tcs,
+		})
+		if err != nil {
+			t.Fatalf("CreateVolume: %v", err)
+		}
+		ss := v.SectorSize()
+		zs := v.ZoneSectors()
+		const chunk = 8
+		wg := clk.NewWaitGroup()
+		wg.Add(tenants)
+		for i := 0; i < tenants; i++ {
+			i := i
+			clk.Go(func() {
+				defer wg.Done()
+				id := fmt.Sprintf("t%02d", i)
+				base := int64(i) * zs
+				var futs []*vclock.Future
+				for off := int64(0); off+chunk <= zs; off += chunk {
+					lba := base + off
+					fut, err := v.SubmitWrite(id, lba, pattern(id, lba, chunk, ss), 0)
+					if errors.Is(err, ErrThrottled) {
+						clk.Sleep(100 * time.Microsecond)
+						off -= chunk
+						continue
+					}
+					if err != nil {
+						t.Errorf("%s SubmitWrite: %v", id, err)
+						return
+					}
+					futs = append(futs, fut)
+					if len(futs) >= 8 {
+						if err := futs[0].Wait(); err != nil {
+							t.Errorf("%s write: %v", id, err)
+							return
+						}
+						futs = futs[1:]
+					}
+				}
+				if err := vclock.WaitAll(futs...); err != nil {
+					t.Errorf("%s drain: %v", id, err)
+					return
+				}
+				// Read the whole zone back and verify.
+				buf := make([]byte, int(zs)*ss)
+				if err := v.Read(id, base, buf); err != nil {
+					t.Errorf("%s Read: %v", id, err)
+					return
+				}
+				want := pattern(id, base, int(zs), ss)
+				for j := range want {
+					if buf[j] != want[j] {
+						t.Errorf("%s data mismatch at byte %d", id, j)
+						return
+					}
+				}
+			})
+		}
+		wg.Wait()
+		if err := m.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		// Every tenant's accounting adds up.
+		for _, st := range v.TenantStats() {
+			wantBytes := zs * int64(ss) // zone write + zone read... writes only counted
+			if st.Errored != 0 {
+				t.Errorf("%s: %d errored requests", st.ID, st.Errored)
+			}
+			if st.CompletedBytes < wantBytes {
+				t.Errorf("%s: completed %d bytes, want >= %d", st.ID, st.CompletedBytes, wantBytes)
+			}
+		}
+	})
+}
+
+// TestJainIndex sanity-checks the fairness helper.
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]float64{1, 1, 1, 1}); got < 0.999 {
+		t.Errorf("equal split: %v, want 1", got)
+	}
+	if got := JainIndex([]float64{1, 0, 0, 0}); got > 0.2500001 || got < 0.2499999 {
+		t.Errorf("single winner of 4: %v, want 0.25", got)
+	}
+	if got := JainIndex(nil); got != 0 {
+		t.Errorf("empty: %v, want 0", got)
+	}
+}
