@@ -83,17 +83,23 @@ func LoadReport(path string) (*Report, error) {
 	}
 	r := &Report{Schema: SchemaV1, Experiment: legacy.Experiment, Quick: legacy.Quick}
 	for _, s := range legacy.Simulated {
+		m := map[string]float64{
+			"legacy_mib_s":     s.LegacyMiBs,
+			"coalesced_mib_s":  s.CoalescedMiB,
+			"legacy_p50_us":    s.LegacyP50us,
+			"coalesced_p50_us": s.CoalP50us,
+			"legacy_p99_us":    s.LegacyP99us,
+			"coalesced_p99_us": s.CoalP99us,
+		}
+		// Degenerate cells (both paths byte-identical) carry no gain
+		// measurement: omitting the metric keeps Compare from treating a
+		// later non-zero gain as a 100% jump, or a measured 0 as honest.
+		if !s.degenerate() {
+			m["gain_pct"] = s.GainPct
+		}
 		r.Cells = append(r.Cells, Cell{
-			Name: fmt.Sprintf("sim/su=%d/bs=%d/jobs=%d", s.SU, s.BS, s.Jobs),
-			Metrics: map[string]float64{
-				"legacy_mib_s":     s.LegacyMiBs,
-				"coalesced_mib_s":  s.CoalescedMiB,
-				"gain_pct":         s.GainPct,
-				"legacy_p50_us":    s.LegacyP50us,
-				"coalesced_p50_us": s.CoalP50us,
-				"legacy_p99_us":    s.LegacyP99us,
-				"coalesced_p99_us": s.CoalP99us,
-			},
+			Name:    fmt.Sprintf("sim/su=%d/bs=%d/jobs=%d", s.SU, s.BS, s.Jobs),
+			Metrics: m,
 		})
 	}
 	for _, h := range legacy.Host {

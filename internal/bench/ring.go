@@ -1,0 +1,319 @@
+package bench
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"testing"
+
+	"raizn/internal/fio"
+	"raizn/internal/parity"
+	"raizn/internal/raizn"
+	"raizn/internal/vclock"
+	"raizn/internal/zns"
+)
+
+func init() {
+	register(Experiment{
+		Name:  "ring",
+		Title: "PR8 batched submission/completion ring, zero-copy reads, fused XOR/CRC",
+		Run:   runRing,
+	})
+}
+
+// The ring experiment quantifies the PR8 overhaul along its three axes:
+//
+//   - Batched submission: the plan/compute/submit pipeline pushes a
+//     stripe write's sub-IOs into per-device SQ batches that the device
+//     validates and applies under one lock acquisition, with one future
+//     slab and one CQ walker goroutine — host ns/op drops because the
+//     per-command fixed costs are paid once per batch.
+//   - Zero-copy reads: SubmitReadZC assembles epoch-pinned views of
+//     device memory instead of copying payloads into a caller buffer,
+//     eliminating the data-buffer allocations of the copying read.
+//   - Fused XOR/CRC: parity.XORCRCInto computes the parity image and
+//     all unit CRCs in one cache-resident pass over the stripe.
+//
+// Simulated device time is identical by construction (the batch charges
+// the same per-command pipe occupancy), which the sim cell checks: ring
+// and direct throughput must agree to within noise.
+//
+// Results go to the report writer and to BENCH_pr8.json (raizn-bench/v1
+// schema, committed at the repo root as the PR's benchmark baseline).
+
+// ringVolCfg returns the volume config for the chosen submission path.
+func ringVolCfg(useRing bool) raizn.Config {
+	rcfg := raizn.DefaultConfig()
+	rcfg.UseRing = useRing
+	rcfg.Metrics = runRegistry
+	return rcfg
+}
+
+// ringHostWrite measures host-side cost (real ns/op, allocs/op) of
+// sequential writes of nSectors through the chosen submission path.
+func ringHostWrite(sc scale, nSectors int64, useRing bool) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		clk := vclock.New()
+		clk.Run(func() {
+			devs := make([]*zns.Device, sc.numDevices)
+			for i := range devs {
+				devs[i] = zns.NewDevice(clk, znsConfig(sc, true))
+			}
+			v, err := raizn.Create(clk, devs, ringVolCfg(useRing))
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf := make([]byte, nSectors*int64(v.SectorSize()))
+			var lba int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if lba+nSectors > v.NumSectors() {
+					b.StopTimer()
+					for z := 0; z < v.NumZones(); z++ {
+						if err := v.ResetZone(z); err != nil {
+							b.Fatal(err)
+						}
+					}
+					lba = 0
+					b.StartTimer()
+				}
+				if err := v.Write(lba, buf, 0); err != nil {
+					b.Fatal(err)
+				}
+				lba += nSectors
+			}
+		})
+	})
+}
+
+// ringHostRead measures host-side read cost over a prefilled zone:
+// copying Read versus zero-copy SubmitReadZC. Payloads are materialized
+// (DiscardData off) so both paths pay the same memory traffic.
+func ringHostRead(sc scale, nSectors int64, zeroCopy bool) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		clk := vclock.New()
+		clk.Run(func() {
+			devs := make([]*zns.Device, sc.numDevices)
+			for i := range devs {
+				devs[i] = zns.NewDevice(clk, znsConfig(sc, false))
+			}
+			v, err := raizn.Create(clk, devs, ringVolCfg(zeroCopy))
+			if err != nil {
+				b.Fatal(err)
+			}
+			prefill := make([]byte, v.ZoneSectors()*int64(v.SectorSize()))
+			if err := v.Write(0, prefill, 0); err != nil {
+				b.Fatal(err)
+			}
+			buf := make([]byte, nSectors*int64(v.SectorSize()))
+			n := v.ZoneSectors() - nSectors
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lba := int64(i) % n
+				if zeroCopy {
+					r := v.SubmitReadZC(lba, nSectors)
+					if err := r.Wait(); err != nil {
+						b.Fatal(err)
+					}
+					if !r.ZeroCopy() {
+						b.Fatal("zero-copy read fell back to copying")
+					}
+					r.Release()
+				} else {
+					if err := v.Read(lba, buf); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	})
+}
+
+// ringXORCRC measures the stripe-compute kernel: parity XOR plus unit
+// CRCs as separate passes versus the fused single pass.
+func ringXORCRC(units int, unitBytes int, fused bool) testing.BenchmarkResult {
+	tab := crc32.MakeTable(crc32.Castagnoli)
+	return testing.Benchmark(func(b *testing.B) {
+		srcs := make([][]byte, units)
+		for i := range srcs {
+			srcs[i] = make([]byte, unitBytes)
+			for j := range srcs[i] {
+				srcs[i][j] = byte(i*31 + j)
+			}
+		}
+		dst := make([]byte, unitBytes)
+		crcs := make([]uint32, units+1)
+		b.SetBytes(int64(units * unitBytes))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if fused {
+				for k := range crcs {
+					crcs[k] = 0
+				}
+				parity.XORCRCInto(dst, srcs, crcs, tab)
+			} else {
+				for j := range dst {
+					dst[j] = 0
+				}
+				for k, s := range srcs {
+					parity.XORInto(dst, s)
+					crcs[k] = crc32.Checksum(s, tab)
+				}
+				crcs[units] = crc32.Checksum(dst, tab)
+			}
+		}
+	})
+}
+
+// ringFioWrite runs a sequential-write pass over the whole volume and
+// returns aggregate throughput: the simulated-time equivalence check.
+func ringFioWrite(sc scale, bs int64, jobs int, useRing bool) (mibs float64) {
+	clk := vclock.New()
+	clk.Run(func() {
+		devs := make([]*zns.Device, sc.numDevices)
+		for i := range devs {
+			devs[i] = zns.NewDevice(clk, znsConfig(sc, true))
+			devs[i].RegisterMetrics(runRegistry, fmt.Sprintf("zns_dev%d", i))
+		}
+		v, err := raizn.Create(clk, devs, ringVolCfg(useRing))
+		if err != nil {
+			panic(err)
+		}
+		tgt := fio.RaiznTarget{V: v}
+		size := tgt.NumSectors()
+		per := size / int64(jobs) / bs * bs
+		var js []fio.Job
+		for j := 0; j < jobs; j++ {
+			js = append(js, fio.Job{Pattern: fio.SeqWrite, BlockSectors: bs, QueueDepth: 32,
+				Offset: int64(j) * per, Size: per, Seed: int64(j)})
+		}
+		res := fio.Run(clk, tgt, js, fio.Options{})
+		mibs = res.Throughput
+	})
+	return
+}
+
+func pctLess(old, new int64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return float64(old-new) / float64(old) * 100
+}
+
+func runRing(w io.Writer, quick bool) error {
+	sc := scaleFor(quick)
+	rep := &Report{Schema: SchemaV1, Experiment: "ring", Quick: quick}
+	su := raizn.DefaultConfig().StripeUnitSectors
+	stripe := su * int64(sc.numDevices-1)
+
+	// Host write path: direct vs ring, 4 KiB and 4-stripe submissions.
+	fmt.Fprintf(w, "\n-- host cost per Write (real CPU), ring vs direct --\n")
+	tw := newTable(w, "workload", "direct ns/op", "ring ns/op", "speedup", "direct allocs", "ring allocs")
+	writeCases := []struct {
+		name string
+		n    int64
+	}{
+		{"submit-4k", 1},
+		{"submit-4stripe", stripe * 4},
+	}
+	if quick {
+		writeCases = writeCases[1:]
+	}
+	for _, c := range writeCases {
+		dr := ringHostWrite(sc, c.n, false)
+		rr := ringHostWrite(sc, c.n, true)
+		speedup := pctLess(dr.NsPerOp(), rr.NsPerOp())
+		rep.Cells = append(rep.Cells, Cell{
+			Name: "host/" + c.name,
+			Metrics: map[string]float64{
+				"direct_ns_op":     float64(dr.NsPerOp()),
+				"ring_ns_op":       float64(rr.NsPerOp()),
+				"speedup_pct":      speedup,
+				"direct_allocs_op": float64(dr.AllocsPerOp()),
+				"ring_allocs_op":   float64(rr.AllocsPerOp()),
+			},
+		})
+		tw.row(c.name, fmt.Sprintf("%d", dr.NsPerOp()), fmt.Sprintf("%d", rr.NsPerOp()),
+			fmt.Sprintf("%+.1f%%", speedup),
+			fmt.Sprintf("%d", dr.AllocsPerOp()), fmt.Sprintf("%d", rr.AllocsPerOp()))
+	}
+
+	// Host read path: copying Read vs zero-copy SubmitReadZC.
+	fmt.Fprintf(w, "\n-- host cost per read (real CPU), zero-copy vs copying --\n")
+	tr := newTable(w, "workload", "copy ns/op", "zc ns/op", "speedup", "copy allocs", "zc allocs", "allocs cut")
+	readN := stripe // one full stripe
+	cr := ringHostRead(sc, readN, false)
+	zr := ringHostRead(sc, readN, true)
+	acut := pctLess(cr.AllocsPerOp(), zr.AllocsPerOp())
+	rep.Cells = append(rep.Cells, Cell{
+		Name: "host/read-zc",
+		Metrics: map[string]float64{
+			"copy_ns_op":           float64(cr.NsPerOp()),
+			"zc_ns_op":             float64(zr.NsPerOp()),
+			"speedup_pct":          pctLess(cr.NsPerOp(), zr.NsPerOp()),
+			"copy_allocs_op":       float64(cr.AllocsPerOp()),
+			"zc_allocs_op":         float64(zr.AllocsPerOp()),
+			"allocs_reduction_pct": acut,
+		},
+	})
+	tr.row("read-1stripe", fmt.Sprintf("%d", cr.NsPerOp()), fmt.Sprintf("%d", zr.NsPerOp()),
+		fmt.Sprintf("%+.1f%%", pctLess(cr.NsPerOp(), zr.NsPerOp())),
+		fmt.Sprintf("%d", cr.AllocsPerOp()), fmt.Sprintf("%d", zr.AllocsPerOp()),
+		fmt.Sprintf("%+.1f%%", acut))
+
+	// Stripe-compute kernel: fused vs separate XOR+CRC passes.
+	fmt.Fprintf(w, "\n-- stripe compute kernel, fused vs separate passes --\n")
+	tk := newTable(w, "stripe", "separate ns/op", "fused ns/op", "speedup", "GB/s (sep/fused)")
+	unitBytes := int(su) * 4096
+	sep := ringXORCRC(sc.numDevices-1, unitBytes, false)
+	fus := ringXORCRC(sc.numDevices-1, unitBytes, true)
+	gbs := func(r testing.BenchmarkResult) float64 {
+		return float64(r.Bytes) * float64(r.N) / r.T.Seconds() / 1e9
+	}
+	rep.Cells = append(rep.Cells, Cell{
+		Name: "host/fused-xorcrc",
+		Metrics: map[string]float64{
+			"separate_ns_op": float64(sep.NsPerOp()),
+			"fused_ns_op":    float64(fus.NsPerOp()),
+			"speedup_pct":    pctLess(sep.NsPerOp(), fus.NsPerOp()),
+			"fused_gb_s":     gbs(fus),
+		},
+	})
+	tk.row(fmt.Sprintf("%dx%dK", sc.numDevices-1, unitBytes/1024),
+		fmt.Sprintf("%d", sep.NsPerOp()), fmt.Sprintf("%d", fus.NsPerOp()),
+		fmt.Sprintf("%+.1f%%", pctLess(sep.NsPerOp(), fus.NsPerOp())),
+		fmt.Sprintf("%.1f/%.1f", gbs(sep), gbs(fus)))
+
+	// Simulated throughput: the ring must not change device-time behavior.
+	fmt.Fprintf(w, "\n-- simulated sequential write, ring vs direct (equivalence) --\n")
+	ts := newTable(w, "bs", "jobs", "direct MiB/s", "ring MiB/s", "delta")
+	bss := []int64{64, 256}
+	jobs := 4
+	if quick {
+		bss = []int64{64}
+		jobs = 1
+	}
+	for _, bs := range bss {
+		dm := ringFioWrite(sc, bs, jobs, false)
+		rm := ringFioWrite(sc, bs, jobs, true)
+		rep.Cells = append(rep.Cells, Cell{
+			Name: fmt.Sprintf("sim/seqwrite/bs=%d/jobs=%d", bs, jobs),
+			Metrics: map[string]float64{
+				"direct_mib_s": dm,
+				"ring_mib_s":   rm,
+			},
+		})
+		ts.row(kib(bs), fmt.Sprintf("%d", jobs), f1(dm), f1(rm),
+			fmt.Sprintf("%+.2f%%", (rm-dm)/dm*100))
+	}
+
+	if quick {
+		fmt.Fprintf(w, "\nquick run: BENCH_pr8.json not written\n")
+		return nil
+	}
+	if err := rep.WriteFile("BENCH_pr8.json"); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nwrote BENCH_pr8.json\n")
+	return nil
+}

@@ -47,10 +47,24 @@ type wpSimResult struct {
 	LegacyMiBs   float64 `json:"legacy_mib_s"`
 	CoalescedMiB float64 `json:"coalesced_mib_s"`
 	GainPct      float64 `json:"gain_pct"`
-	LegacyP50us  float64 `json:"legacy_p50_us"`
-	CoalP50us    float64 `json:"coalesced_p50_us"`
-	LegacyP99us  float64 `json:"legacy_p99_us"`
-	CoalP99us    float64 `json:"coalesced_p99_us"`
+	// GainNA marks a degenerate cell: both paths produced byte-identical
+	// throughput and percentiles, so "0% gain" is not a measurement — the
+	// parameter point never exercises the coalescer (e.g. su=16 with
+	// bs<=64 sub-IOs that each touch one stripe unit per device).
+	GainNA      bool    `json:"gain_na,omitempty"`
+	LegacyP50us float64 `json:"legacy_p50_us"`
+	CoalP50us   float64 `json:"coalesced_p50_us"`
+	LegacyP99us float64 `json:"legacy_p99_us"`
+	CoalP99us   float64 `json:"coalesced_p99_us"`
+}
+
+// degenerate reports whether the cell's two paths are indistinguishable:
+// identical throughput and identical latency percentiles. Old files
+// (BENCH_pr3.json predates GainNA) are detected by the same condition.
+func (s *wpSimResult) degenerate() bool {
+	return s.GainNA || (s.GainPct == 0 &&
+		s.LegacyMiBs == s.CoalescedMiB &&
+		s.LegacyP50us == s.CoalP50us && s.LegacyP99us == s.CoalP99us)
 }
 
 // wpHostResult is one host-side microbenchmark pair.
@@ -167,14 +181,20 @@ func runWritePath(w io.Writer, quick bool) error {
 				lm, lp50, lp99 := wpFioWrite(sc, su, bs, jobs, true)
 				cm, cp50, cp99 := wpFioWrite(sc, su, bs, jobs, false)
 				gain := (cm - lm) / lm * 100
-				rep.Simulated = append(rep.Simulated, wpSimResult{
+				res := wpSimResult{
 					SU: su, BS: bs, Jobs: jobs,
 					LegacyMiBs: lm, CoalescedMiB: cm, GainPct: gain,
 					LegacyP50us: lp50, CoalP50us: cp50,
 					LegacyP99us: lp99, CoalP99us: cp99,
-				})
+				}
+				gainCell := fmt.Sprintf("%+.1f%%", gain)
+				if res.degenerate() {
+					res.GainNA, res.GainPct = true, 0
+					gainCell = "n/a"
+				}
+				rep.Simulated = append(rep.Simulated, res)
 				t.row(kib(su), kib(bs), fmt.Sprintf("%d", jobs), f1(lm), f1(cm),
-					fmt.Sprintf("%+.1f%%", gain),
+					gainCell,
 					fmt.Sprintf("%.1f/%.1f", lp50, cp50),
 					fmt.Sprintf("%.1f/%.1f", lp99, cp99))
 			}

@@ -3,7 +3,11 @@
 // single missing unit from the survivors.
 package parity
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
 
 // XORInto xors src into dst in place. The slices must be the same length.
 func XORInto(dst, src []byte) {
@@ -61,6 +65,64 @@ func EncodeInto(dst []byte, units ...[]byte) {
 // caller simply passes every surviving unit (data and parity alike).
 func Reconstruct(survivors ...[]byte) []byte {
 	return Encode(survivors...)
+}
+
+// fuseBlock is the chunk size of the fused XOR+CRC pass: small enough
+// that one chunk of every unit plus the parity chunk stays cache-hot
+// between the XOR and the CRC update over the same bytes.
+const fuseBlock = 4096
+
+// XORCRCInto fuses parity encoding and per-unit checksumming into a
+// single pass: dst receives the XOR of srcs, and crcs — which must have
+// len(srcs)+1 entries, zero-initialized by the caller — accumulates the
+// CRC32 of each source (crcs[i] for srcs[i]) and of dst (the last
+// entry), using tab. Equivalent to EncodeInto followed by per-slice
+// crc32.Checksum, but each block of the data is checksummed while still
+// cache-hot from the XOR, and the XOR runs word-at-a-time. All slices
+// must have dst's length.
+func XORCRCInto(dst []byte, srcs [][]byte, crcs []uint32, tab *crc32.Table) {
+	if len(crcs) != len(srcs)+1 {
+		panic(fmt.Sprintf("parity: %d crc slots for %d sources", len(crcs), len(srcs)))
+	}
+	for _, s := range srcs {
+		if len(s) != len(dst) {
+			panic(fmt.Sprintf("parity: length mismatch %d != %d", len(s), len(dst)))
+		}
+	}
+	for lo := 0; lo < len(dst); lo += fuseBlock {
+		hi := lo + fuseBlock
+		if hi > len(dst) {
+			hi = len(dst)
+		}
+		db := dst[lo:hi]
+		if len(srcs) == 0 {
+			for i := range db {
+				db[i] = 0
+			}
+		} else {
+			copy(db, srcs[0][lo:hi])
+			for _, s := range srcs[1:] {
+				xorWords(db, s[lo:hi])
+			}
+		}
+		for i, s := range srcs {
+			crcs[i] = crc32.Update(crcs[i], tab, s[lo:hi])
+		}
+		crcs[len(srcs)] = crc32.Update(crcs[len(srcs)], tab, db)
+	}
+}
+
+// xorWords xors src into dst eight bytes at a time (byte-order
+// round-trips, so the result is correct on any architecture).
+func xorWords(dst, src []byte) {
+	n := len(dst) &^ 7
+	for i := 0; i < n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(dst[i:])^binary.LittleEndian.Uint64(src[i:]))
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] ^= src[i]
+	}
 }
 
 // EncodeRagged computes parity over units that may be shorter than width;

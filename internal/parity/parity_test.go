@@ -2,6 +2,7 @@ package parity
 
 import (
 	"bytes"
+	"hash/crc32"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -161,5 +162,53 @@ func BenchmarkXOR64K(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		XORInto(dst, src)
+	}
+}
+
+func TestXORCRCIntoMatchesSeparatePasses(t *testing.T) {
+	tab := crc32.MakeTable(crc32.Castagnoli)
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range []int{0, 1, 7, 8, 9, 4095, 4096, 4097, 16384, 65536} {
+		for _, d := range []int{0, 1, 3, 4} {
+			srcs := make([][]byte, d)
+			for i := range srcs {
+				srcs[i] = make([]byte, n)
+				rng.Read(srcs[i])
+			}
+			fused := make([]byte, n)
+			crcs := make([]uint32, d+1)
+			XORCRCInto(fused, srcs, crcs, tab)
+
+			want := make([]byte, n)
+			EncodeInto(want, srcs...)
+			if !bytes.Equal(fused, want) {
+				t.Fatalf("n=%d d=%d: fused parity differs from EncodeInto", n, d)
+			}
+			for i, s := range srcs {
+				if got, wantC := crcs[i], crc32.Checksum(s, tab); got != wantC {
+					t.Fatalf("n=%d d=%d: crc[%d] = %08x, want %08x", n, d, i, got, wantC)
+				}
+			}
+			if got, wantC := crcs[d], crc32.Checksum(want, tab); got != wantC {
+				t.Fatalf("n=%d d=%d: parity crc = %08x, want %08x", n, d, got, wantC)
+			}
+		}
+	}
+}
+
+func TestXORCRCIntoPanics(t *testing.T) {
+	tab := crc32.MakeTable(crc32.Castagnoli)
+	for name, fn := range map[string]func(){
+		"crc-slots": func() { XORCRCInto(make([]byte, 8), [][]byte{make([]byte, 8)}, make([]uint32, 1), tab) },
+		"length":    func() { XORCRCInto(make([]byte, 8), [][]byte{make([]byte, 4)}, make([]uint32, 2), tab) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
 	}
 }

@@ -46,3 +46,32 @@ func TestSubmitWriteAllocGuard(t *testing.T) {
 		})
 	}
 }
+
+// TestSubmitReadZCAllocGuard proves the zero-copy read path never
+// allocates data buffers: a steady-state ZC read allocates only fixed
+// plumbing (futures, pins, part headers), so allocs/op and bytes/op
+// must stay flat as the read size grows 4x. A copying read of the same
+// 256 KiB range would show up immediately in AllocedBytesPerOp.
+func TestSubmitReadZCAllocGuard(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not comparable under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("skipping benchmark-backed guard in -short mode")
+	}
+	small := testing.Benchmark(func(b *testing.B) { benchSeqReadZC(b, ringConfig(), 16) })
+	large := testing.Benchmark(func(b *testing.B) { benchSeqReadZC(b, ringConfig(), 64) })
+	const maxAllocs, maxBytes = 24, 2048
+	if got := large.AllocsPerOp(); got > maxAllocs {
+		t.Errorf("SubmitReadZC 4-stripe: %d allocs/op, baseline %d — ZC read plumbing regressed", got, maxAllocs)
+	}
+	if got := large.AllocedBytesPerOp(); got > maxBytes {
+		t.Errorf("SubmitReadZC 4-stripe: %d B/op, baseline %d — a data buffer leaked onto the ZC path", got, maxBytes)
+	}
+	// 4x more data must not mean 4x more bytes allocated: the growth from
+	// the 1-unit to the 4-unit read is bounded by per-piece headers, far
+	// below the 192 KiB of extra payload a copying path would allocate.
+	if d := large.AllocedBytesPerOp() - small.AllocedBytesPerOp(); d > maxBytes {
+		t.Errorf("SubmitReadZC: bytes/op grew by %d from 1-unit to 4-unit read — payload is being copied", d)
+	}
+}

@@ -177,3 +177,73 @@ func BenchmarkDegradedRead64K(b *testing.B) {
 		}
 	})
 }
+
+// benchVolumeData is benchVolumeCfg with payloads materialized
+// (DiscardData off): zero-copy reads need real backing arrays, and the
+// copying baseline must pay the same memory traffic to compare fairly.
+func benchVolumeData(b *testing.B, vcfg Config, fn func(c *vclock.Clock, v *Volume)) {
+	b.Helper()
+	c := vclock.New()
+	c.Run(func() {
+		devs := make([]*zns.Device, 5)
+		for i := range devs {
+			devs[i] = zns.NewDevice(c, zns.DefaultConfig())
+		}
+		v, err := Create(c, devs, vcfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		fn(c, v)
+	})
+}
+
+// benchSeqReadZC measures the zero-copy read path: assemble views,
+// validate pins, release. ZeroCopy must hold on every op — a fallback
+// would silently benchmark the copying path.
+func benchSeqReadZC(b *testing.B, vcfg Config, nSectors int64) {
+	benchVolumeData(b, vcfg, func(c *vclock.Clock, v *Volume) {
+		prefill := make([]byte, v.ZoneSectors()*int64(v.SectorSize()))
+		if err := v.Write(0, prefill, 0); err != nil {
+			b.Fatal(err)
+		}
+		n := v.ZoneSectors() - nSectors
+		b.SetBytes(nSectors * int64(v.SectorSize()))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := v.SubmitReadZC(int64(i)%n, nSectors)
+			if err := r.Wait(); err != nil {
+				b.Fatal(err)
+			}
+			if !r.ZeroCopy() {
+				b.Fatal("zero-copy read fell back to copying")
+			}
+			r.Release()
+		}
+	})
+}
+
+// benchSeqReadCopy is the copying counterpart on identical devices.
+func benchSeqReadCopy(b *testing.B, vcfg Config, nSectors int64) {
+	benchVolumeData(b, vcfg, func(c *vclock.Clock, v *Volume) {
+		prefill := make([]byte, v.ZoneSectors()*int64(v.SectorSize()))
+		if err := v.Write(0, prefill, 0); err != nil {
+			b.Fatal(err)
+		}
+		buf := make([]byte, nSectors*int64(v.SectorSize()))
+		n := v.ZoneSectors() - nSectors
+		b.SetBytes(int64(len(buf)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := v.Read(int64(i)%n, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkSubmitReadCopy4Unit(b *testing.B) { benchSeqReadCopy(b, DefaultConfig(), 64) }
+func BenchmarkSubmitReadZC4Unit(b *testing.B)   { benchSeqReadZC(b, ringConfig(), 64) }
+func BenchmarkSubmitReadZC1Unit(b *testing.B)   { benchSeqReadZC(b, ringConfig(), 16) }

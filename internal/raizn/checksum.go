@@ -274,9 +274,9 @@ func (v *Volume) readUnitImage(sp *obs.Span, z int, s int64, u int, need int64) 
 	var futs []subIO
 	var err error
 	if u == v.lt.d {
-		err = v.readParityPieceSpan(sp, z, s, 0, need, buf, &futs)
+		err = v.readParityPieceSpan(sp, z, s, 0, need, buf, &futs, nil)
 	} else {
-		err = v.readUnitPieceSpan(sp, z, s, u, 0, need, buf, &futs)
+		err = v.readUnitPieceSpan(sp, z, s, u, 0, need, buf, &futs, nil)
 	}
 	if err != nil {
 		return nil, err

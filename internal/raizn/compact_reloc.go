@@ -108,7 +108,7 @@ func (v *Volume) compactZone(z int) error {
 				if g == stripeSec {
 					piece = su
 				} else if v.cfg.ParityMode == PPZRWA || lz.state == zns.ZoneFull {
-					piece = minI64(g, su)
+					piece = min(g, su)
 				}
 				if piece > 0 {
 					var futs []subIO

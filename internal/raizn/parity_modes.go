@@ -107,7 +107,7 @@ func (v *Volume) issueZRWAParityLocked(sp *obs.Span, lz *logicalZone, s int64, b
 	if d == nil {
 		return // degraded: data units carry the write
 	}
-	plen := minI64(buf.fill, v.lt.su)
+	plen := min(buf.fill, v.lt.su)
 	img := v.parityImageLocked(buf, []intraInterval{{0, plen}})
 	v.stats.zrwaParityWrites.Add(1)
 	v.stats.waParityBytes.Add(int64(len(img)))
@@ -152,7 +152,7 @@ func (v *Volume) reconstructUnitRange(z int, s int64, u int, a, b int64, fills [
 		if u2 == u {
 			continue
 		}
-		hi := minI64(fills[u2], b)
+		hi := min(fills[u2], b)
 		if hi <= a {
 			continue
 		}

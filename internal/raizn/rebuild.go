@@ -183,7 +183,7 @@ func (v *Volume) rebuildZone(z, slot int, newDev *zns.Device) (int64, error) {
 			if g == stripeSec {
 				plen = su
 			} else if state == zns.ZoneFull && g > 0 {
-				plen = minI64(g, su)
+				plen = min(g, su)
 			}
 			if plen == 0 {
 				continue
@@ -217,6 +217,7 @@ func (v *Volume) rebuildZone(z, slot int, newDev *zns.Device) (int64, error) {
 			}
 		}
 		v.reloc[z] = keep
+		v.bumpZCEpoch(z)
 	}
 	if m := v.parityReloc[z]; m != nil {
 		for s, e := range m {
@@ -266,7 +267,7 @@ func (v *Volume) reconstructUnitForRebuild(lz *logicalZone, s int64, u int, need
 		if u2 == u || fills[u2] == 0 {
 			continue
 		}
-		hi := minI64(fills[u2], need)
+		hi := min(fills[u2], need)
 		if hi <= 0 {
 			continue
 		}
@@ -303,7 +304,7 @@ func (v *Volume) computeParityForRebuild(lz *logicalZone, z int, s, g, plen int6
 	var futs []subIO
 	var pieces [][]byte
 	for u := 0; u < v.lt.d; u++ {
-		hi := minI64(fills[u], plen)
+		hi := min(fills[u], plen)
 		if hi <= 0 {
 			continue
 		}

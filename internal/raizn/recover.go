@@ -447,7 +447,7 @@ func (v *Volume) expectedPhysFill(z, i int, wp int64) int64 {
 			fill += clampI64(tail-int64(u)*v.lt.su, 0, v.lt.su)
 		} else if v.cfg.ParityMode == PPZRWA {
 			// In ZRWA mode the tail stripe's parity prefix IS on media.
-			fill += minI64(tail, v.lt.su)
+			fill += min(tail, v.lt.su)
 		}
 		// Otherwise the tail stripe's parity is not yet written (the
 		// partial parity lives in the metadata zone), so the parity
@@ -785,7 +785,7 @@ func (v *Volume) rebuildStripeBuffer(lz *logicalZone, s int64, fill int64, ppLog
 			continue
 		}
 		src := buf.data[int64(u2)*su*ss : int64(u2)*su*ss+fills[u2]*ss]
-		hi := minI64(int64(len(src)), need*ss)
+		hi := min(int64(len(src)), need*ss)
 		if hi > 0 {
 			parity.XORInto(dst[:hi], src[:hi])
 		}

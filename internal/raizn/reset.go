@@ -177,6 +177,7 @@ func (v *Volume) dropRelocEntries(z int) {
 	delete(v.reloc, z)
 	delete(v.parityReloc, z)
 	v.relocMu.Unlock()
+	v.bumpZCEpoch(z)
 }
 
 // FinishZone transitions logical zone z to full without writing the rest
@@ -212,7 +213,7 @@ func (v *Volume) FinishZone(z int) error {
 		if buf, ok := lz.active[s]; ok {
 			if v.cfg.ParityMode != PPZRWA {
 				// In ZRWA mode the parity prefix is already in place.
-				img := v.parityImageLocked(buf, []intraInterval{{0, minI64(buf.fill, v.lt.su)}})
+				img := v.parityImageLocked(buf, []intraInterval{{0, min(buf.fill, v.lt.su)}})
 				v.issueDeviceWrite(nil, v.lt.parityDev(z, s), v.lt.parityPBA(z, s), img, 0, 0, true, z, s, &futs, &pending)
 			}
 			delete(lz.active, s)

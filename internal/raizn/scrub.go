@@ -164,11 +164,18 @@ func (v *Volume) ScrubStripe(z int, s int64, repair bool) (StripeScrubResult, er
 // verifyStripeImages checks a fully readable stripe and repairs at most
 // one CRC-attributed bad unit.
 func (v *Volume) verifyStripeImages(z int, s int64, gen uint64, imgs [][]byte, crcs []uint32, repair bool, res *StripeScrubResult) {
-	xorOK := xorConsistent(imgs)
+	// One fused pass over the stripe (parity.XORCRCInto): XOR-accumulate
+	// every unit image into acc while computing each unit's CRC32-C with
+	// the block still cache-hot. XOR consistency = acc all-zero; the
+	// per-unit CRCs serve both mismatch attribution and adoption.
+	acc := make([]byte, len(imgs[0]))
+	obsCRC := make([]uint32, len(imgs)+1)
+	parity.XORCRCInto(acc, imgs, obsCRC, crcTable)
+	xorOK := allZero(acc)
 	if crcs == nil {
 		if xorOK {
 			// Consistent but uncovered: adopt the observed checksums.
-			v.adoptChecksums(z, s, gen, imgs)
+			v.adoptChecksums(z, s, gen, obsCRC[:len(imgs)])
 			res.Adopted = true
 			res.Verified = true
 			return
@@ -183,8 +190,8 @@ func (v *Volume) verifyStripeImages(z int, s int64, gen uint64, imgs [][]byte, c
 	}
 
 	var bad []int
-	for u, img := range imgs {
-		if crcOf(img) != crcs[u] {
+	for u := range imgs {
+		if obsCRC[u] != crcs[u] {
 			bad = append(bad, u)
 		}
 	}
@@ -294,15 +301,10 @@ func (v *Volume) unitDevice(z int, s int64, u int) int {
 	return v.lt.dataDev(z, s, u)
 }
 
-// xorConsistent reports whether the XOR of all unit images (data +
-// parity) is zero.
-func xorConsistent(imgs [][]byte) bool {
-	acc := make([]byte, len(imgs[0]))
-	for _, img := range imgs {
-		parity.XORInto(acc, img)
-	}
-	for _, b := range acc {
-		if b != 0 {
+// allZero reports whether every byte of b is zero.
+func allZero(b []byte) bool {
+	for _, x := range b {
+		if x != 0 {
 			return false
 		}
 	}
@@ -328,11 +330,7 @@ func reconstructUnit(imgs [][]byte, u int) []byte {
 
 // adoptChecksums records the observed CRC row of an XOR-consistent but
 // uncovered stripe, in memory and in the metadata log.
-func (v *Volume) adoptChecksums(z int, s int64, gen uint64, imgs [][]byte) {
-	crcs := make([]uint32, len(imgs))
-	for u, img := range imgs {
-		crcs[u] = crcOf(img)
-	}
+func (v *Volume) adoptChecksums(z int, s int64, gen uint64, crcs []uint32) {
 	v.setStripeChecksums(z, s, crcs)
 	v.stats.checksumRecords.Add(1)
 	m := v.mdm(v.checksumDev(z))

@@ -6,6 +6,7 @@ import (
 
 	"raizn/internal/obs"
 	"raizn/internal/parity"
+	"raizn/internal/ring"
 	"raizn/internal/vclock"
 	"raizn/internal/zns"
 )
@@ -127,6 +128,15 @@ func (v *Volume) runWrite(sp *obs.Span, lz *logicalZone, off int64, data []byte,
 	}
 	v.submitWriteLocked(ws, lz, planErr == nil)
 	lz.mu.Unlock()
+	if ws.batch != nil {
+		// Start the completion walker now that no zone lock is held. All
+		// device state was applied at drain time (under lz.mu, like the
+		// direct path applies at submit); the walker only delivers
+		// completions at their virtual times, so starting it here leaves
+		// simulated timing unchanged.
+		ws.batch.Submit()
+		ws.batch = nil
+	}
 	v.fireHook("raizn.write.submit", obs.SrcLogical, ws.z, end)
 
 	ws.futs = v.issuePendingMD(sp, ws.pending, ws.futs)
@@ -224,6 +234,15 @@ type writeState struct {
 	crcs    []uint32 // completed-stripe CRC rows, stride csSlots()
 	crcS    []int64  // stripe index per CRC row
 	segs    [][]byte // submit-phase gather scratch
+	srcs    [][]byte // fused XOR+CRC source scratch (ring mode)
+
+	// Ring mode: staged SQEs keep their gather lists alive until the
+	// device drains them, so runs are parked in segStore (an arena reused
+	// across writes) instead of the recycled segs scratch, and the batch
+	// itself is carried here so runWrite can Submit it after lz.mu is
+	// released.
+	batch    *ring.Batch
+	segStore [][]byte
 }
 
 func (v *Volume) getWriteState() *writeState {
@@ -237,6 +256,7 @@ func (v *Volume) getWriteState() *writeState {
 		ws.crcs = ws.crcs[:0]
 		ws.crcS = ws.crcS[:0]
 		ws.segs = ws.segs[:0]
+		ws.segStore = ws.segStore[:0]
 		return ws
 	}
 	return &writeState{}
@@ -262,7 +282,14 @@ func (v *Volume) putWriteState(ws *writeState) {
 	for i := range ws.segs {
 		ws.segs[i] = nil
 	}
+	for i := range ws.srcs {
+		ws.srcs[i] = nil
+	}
+	for i := range ws.segStore {
+		ws.segStore[i] = nil
+	}
 	ws.sp = nil
+	ws.batch = nil
 	v.wsPool.Put(ws)
 }
 
@@ -411,33 +438,55 @@ func (v *Volume) computeWrite(ws *writeState) {
 			plen = t.fill
 		}
 		out := ws.image(i, int(plen*ss))
-		if t.buf != nil {
-			v.parityInto(t.buf.data, t.fill, 0, plen, out)
-		} else {
-			copy(out, t.src[:plen*ss])
-			for u := 1; u < v.lt.d; u++ {
-				parity.XORInto(out, t.src[int64(u)*suBytes:int64(u)*suBytes+plen*ss])
-			}
-		}
-		ws.plan[t.planIdx].data = out
-
-		if !t.complete {
-			continue
-		}
-		// CRC row of the completed stripe: D data units + the parity
-		// image just computed (shared — parity is XORed exactly once).
 		base := len(ws.crcs)
-		for u := 0; u < v.lt.d; u++ {
-			var unit []byte
+		if t.complete && v.cfg.UseRing {
+			// Fused single pass: XOR the D units into the parity image and
+			// accumulate all D+1 CRCs while each block is cache-hot
+			// (parity.XORCRCInto). Complete stripes always have the full
+			// stripe payload in one contiguous snapshot.
+			stripe := t.src
 			if t.buf != nil {
-				unit = t.buf.data[int64(u)*suBytes : int64(u+1)*suBytes]
-			} else {
-				unit = t.src[int64(u)*suBytes : int64(u+1)*suBytes]
+				stripe = t.buf.data
 			}
-			ws.crcs = append(ws.crcs, crc32.Checksum(unit, crcTable))
+			srcs := ws.srcs[:0]
+			for u := 0; u < v.lt.d; u++ {
+				srcs = append(srcs, stripe[int64(u)*suBytes:int64(u+1)*suBytes])
+			}
+			ws.srcs = srcs
+			for u := 0; u <= v.lt.d; u++ {
+				ws.crcs = append(ws.crcs, 0)
+			}
+			parity.XORCRCInto(out, srcs, ws.crcs[base:], crcTable)
+			ws.plan[t.planIdx].data = out
+			ws.crcS = append(ws.crcS, t.s)
+		} else {
+			if t.buf != nil {
+				v.parityInto(t.buf.data, t.fill, 0, plen, out)
+			} else {
+				copy(out, t.src[:plen*ss])
+				for u := 1; u < v.lt.d; u++ {
+					parity.XORInto(out, t.src[int64(u)*suBytes:int64(u)*suBytes+plen*ss])
+				}
+			}
+			ws.plan[t.planIdx].data = out
+
+			if !t.complete {
+				continue
+			}
+			// CRC row of the completed stripe: D data units + the parity
+			// image just computed (shared — parity is XORed exactly once).
+			for u := 0; u < v.lt.d; u++ {
+				var unit []byte
+				if t.buf != nil {
+					unit = t.buf.data[int64(u)*suBytes : int64(u+1)*suBytes]
+				} else {
+					unit = t.src[int64(u)*suBytes : int64(u+1)*suBytes]
+				}
+				ws.crcs = append(ws.crcs, crc32.Checksum(unit, crcTable))
+			}
+			ws.crcs = append(ws.crcs, crc32.Checksum(out, crcTable))
+			ws.crcS = append(ws.crcS, t.s)
 		}
-		ws.crcs = append(ws.crcs, crc32.Checksum(out, crcTable))
-		ws.crcS = append(ws.crcS, t.s)
 		v.stats.checksumRecords.Add(1)
 		if v.mdm(csDev) != nil {
 			ws.pending = append(ws.pending, pendingMD{
@@ -515,6 +564,13 @@ func (v *Volume) submitWriteLocked(ws *writeState, lz *logicalZone, ok bool) {
 	ss := int64(v.sectorSize)
 	var dataB, parityB int64 // WA category bytes actually sent to devices
 
+	if v.rings != nil {
+		// Ring mode: runs become SQEs staged per device; each device
+		// drains its whole group under one lock acquisition when the
+		// group is flushed below. runWrite submits the batch (starting
+		// the completion walker) once lz.mu is released.
+		ws.batch = v.rings.Batch()
+	}
 	for dev := 0; dev < v.lt.n; dev++ {
 		d := tbl.zoneDev(dev, z)
 		if d == nil {
@@ -538,7 +594,7 @@ func (v *Volume) submitWriteLocked(ws *writeState, lz *logicalZone, ok bool) {
 				}
 				if pba < devWP {
 					// Burned prefix: relocate [pba, min(wp, pba+n)).
-					burn := minI64(devWP-pba, int64(len(data))/ss)
+					burn := min(devWP-pba, int64(len(data))/ss)
 					ws.pending = append(ws.pending,
 						v.relocationRecord(dev, data[:burn*ss], lba, e.isParity, z, e.s))
 					data = data[burn*ss:]
@@ -553,6 +609,7 @@ func (v *Volume) submitWriteLocked(ws *writeState, lz *logicalZone, ok bool) {
 				// merged; flush the pending run first so per-device
 				// submission order matches plan order.
 				segs = v.flushRun(ws, d, dev, runStart, segs)
+				harvestGroup(ws, d, dev)
 				v.stats.zrwaParityWrites.Add(1)
 				parityB += int64(len(data))
 				child := ws.sp.Child(obs.OpDevWrite, dev, pba, int64(len(data)))
@@ -574,6 +631,7 @@ func (v *Volume) submitWriteLocked(ws *writeState, lz *logicalZone, ok bool) {
 			}
 		}
 		ws.segs = v.flushRun(ws, d, dev, runStart, segs)
+		harvestGroup(ws, d, dev)
 	}
 	if dataB > 0 {
 		v.stats.waDataBytes.Add(dataB)
@@ -614,13 +672,19 @@ func (v *Volume) submitWriteLocked(ws *writeState, lz *logicalZone, ok bool) {
 
 // flushRun issues the accumulated run as one device command (vectored
 // when it merged more than one sub-IO) and returns the reset scratch.
+// In ring mode the run is staged as an SQE on ws.batch instead of being
+// issued directly; harvestGroup later drains the device's staged group.
 func (v *Volume) flushRun(ws *writeState, d *zns.Device, dev int, start int64, segs [][]byte) [][]byte {
 	switch len(segs) {
 	case 0:
 		return segs
 	case 1:
 		child := ws.sp.Child(obs.OpDevWrite, dev, start, int64(len(segs[0])))
-		ws.futs = append(ws.futs, subIO{dev: dev, fut: d.WriteSpan(child, start, segs[0], ws.flags)})
+		if ws.batch != nil {
+			ws.batch.Push(zns.Cmd{Op: zns.CmdWrite, Sector: start, Data: segs[0], Flags: ws.flags, Span: child})
+		} else {
+			ws.futs = append(ws.futs, subIO{dev: dev, fut: d.WriteSpan(child, start, segs[0], ws.flags)})
+		}
 	default:
 		v.stats.coalescedSubWrites.Add(int64(len(segs) - 1))
 		var bytes int64
@@ -628,9 +692,33 @@ func (v *Volume) flushRun(ws *writeState, d *zns.Device, dev int, start int64, s
 			bytes += int64(len(s))
 		}
 		child := ws.sp.Child(obs.OpDevWrite, dev, start, bytes)
-		ws.futs = append(ws.futs, subIO{dev: dev, fut: d.WritevSpan(child, start, segs, ws.flags)})
+		if ws.batch != nil {
+			// The segs scratch is recycled for the next run, so park the
+			// gather list in the write state's arena: the SQE must stay
+			// valid until the device drains the group.
+			base := len(ws.segStore)
+			ws.segStore = append(ws.segStore, segs...)
+			ws.batch.Push(zns.Cmd{Op: zns.CmdWritev, Sector: start, Segs: ws.segStore[base:len(ws.segStore):len(ws.segStore)], Flags: ws.flags, Span: child})
+		} else {
+			ws.futs = append(ws.futs, subIO{dev: dev, fut: d.WritevSpan(child, start, segs, ws.flags)})
+		}
 	}
 	return segs[:0]
+}
+
+// harvestGroup drains the batch's staged SQE group into device d (ring
+// mode only): the device applies the whole group under one lock
+// acquisition, and the commands' completion futures — pre-completed for
+// rejected commands, exactly like the direct path's failSpan futures —
+// join ws.futs for the write's completion wait.
+func harvestGroup(ws *writeState, d *zns.Device, dev int) {
+	if ws.batch == nil || !ws.batch.Pending() {
+		return
+	}
+	group := ws.batch.Flush(d, dev)
+	for i := range group {
+		ws.futs = append(ws.futs, subIO{dev: dev, fut: group[i].Fut})
+	}
 }
 
 // drainSubmitsLocked waits until every claimed write ticket has finished
@@ -814,7 +902,7 @@ func (v *Volume) issueDeviceWrite(sp *obs.Span, dev int, pba int64, data []byte,
 	wp := d.Zone(physZone).WP // absolute
 	if pba < wp {
 		// Burned prefix: relocate [pba, min(wp, pba+n)).
-		burn := minI64(wp-pba, n)
+		burn := min(wp-pba, n)
 		*pending = append(*pending, v.relocationRecord(dev, data[:burn*ss], lba, isParity, z, s))
 		data = data[burn*ss:]
 		pba += burn
@@ -909,6 +997,7 @@ func (v *Volume) addReloc(z int, e relocEntry, isParity bool, s int64) {
 		v.reloc[z] = insertReloc(v.reloc[z], e)
 	}
 	v.relocMu.Unlock()
+	v.bumpZCEpoch(z)
 	lz.mu.Unlock()
 }
 

@@ -189,10 +189,23 @@ type Future struct {
 	done bool
 	err  error
 	chs  []chan struct{}
+	cbs  []func(error)
 }
 
 // NewFuture returns an incomplete Future bound to the clock.
 func (c *Clock) NewFuture() *Future { return &Future{c: c} }
+
+// NewFutureSlab returns n incomplete Futures allocated in one block,
+// amortizing allocation across a batch of commands (use &slab[i]).
+// Slab futures must never be reused: like any Future they complete
+// exactly once and may be referenced by waiters afterwards.
+func (c *Clock) NewFutureSlab(n int) []Future {
+	slab := make([]Future, n)
+	for i := range slab {
+		slab[i].c = c
+	}
+	return slab
+}
 
 // Done reports whether the future has completed.
 func (f *Future) Done() bool {
@@ -224,11 +237,33 @@ func (f *Future) Complete(err error) {
 	f.err = err
 	chs := f.chs
 	f.chs = nil
+	cbs := f.cbs
+	f.cbs = nil
 	f.mu.Unlock()
 	f.c.unpark(len(chs))
 	for _, ch := range chs {
 		close(ch)
 	}
+	for _, cb := range cbs {
+		cb(err)
+	}
+}
+
+// Subscribe registers fn to run when the future completes, without
+// parking a goroutine on it. If the future is already complete, fn runs
+// inline. Otherwise fn runs on the completing goroutine (a registered
+// simulated goroutine), after waiters have been woken; fn must not block
+// in vclock primitives and must not complete this same future.
+func (f *Future) Subscribe(fn func(error)) {
+	f.mu.Lock()
+	if f.done {
+		err := f.err
+		f.mu.Unlock()
+		fn(err)
+		return
+	}
+	f.cbs = append(f.cbs, fn)
+	f.mu.Unlock()
 }
 
 // CompleteAfter schedules the future to resolve with err after d of

@@ -390,8 +390,9 @@ func (e *engine) issue(batch []*request) {
 }
 
 // issueRun submits one run (a single request, or coalesced contiguous
-// writes) and spawns the completion goroutine that resolves the
-// requests' futures and records per-tenant latency.
+// writes) and subscribes run completion onto the volume future — no
+// waiter goroutine per run; the completion callback rides whichever
+// goroutine resolves the future (the ring's CQ walker in ring mode).
 func (e *engine) issueRun(run []*request) {
 	r0 := run[0]
 	ext, arrLBA, err := e.v.locate(r0.lba, r0.sectors) // revalidated at submit; cannot fail
@@ -417,8 +418,7 @@ func (e *engine) issueRun(run []*request) {
 		fut = ext.arr.vol.SubmitWrite(arrLBA, buf, r0.flags)
 		e.coalesced.Add(int64(len(run) - 1))
 	}
-	e.v.clk.Go(func() {
-		err := fut.Wait()
+	fut.Subscribe(func(err error) {
 		e.completeRun(run, err)
 	})
 }

@@ -32,6 +32,31 @@ func (d *Device) schedule(sp *obs.Span, fut *vclock.Future, at time.Duration, ep
 	})
 }
 
+// pendingIO is the completion half of a command whose state has already
+// been applied at submit: the absolute virtual finish time, the error to
+// deliver (latent read faults), and the persistence side effects to run
+// under the device lock at completion time. It is what PrepareBatch
+// collects per command so one walker goroutine can deliver a whole
+// batch's completions.
+type pendingIO struct {
+	at     time.Duration // absolute completion time
+	err    error         // completion-time error (e.g. ErrReadMedium)
+	snap   []int64       // flush/preflush WP snapshot to persist, or nil
+	fuaZ   int           // zone to persist through fuaEnd, or -1
+	fuaEnd int64
+}
+
+// applyEffectLocked runs the pendingIO's persistence side effects.
+// Caller holds d.mu.
+func (d *Device) applyEffectLocked(p *pendingIO) {
+	if p.snap != nil {
+		d.persistSnapshotLocked(p.snap)
+	}
+	if p.fuaZ >= 0 {
+		d.persistZoneLocked(p.fuaZ, p.fuaEnd)
+	}
+}
+
 // reservePipe allocates occupancy on a pipe (busy is the pipe's busy-until
 // field) and returns the transfer's finish time. Caller holds d.mu.
 func reservePipe(busy *time.Duration, now time.Duration, occupancy time.Duration) time.Duration {
@@ -209,25 +234,49 @@ func (d *Device) AppendSpan(sp *obs.Span, z int, data []byte, flags Flag) (int64
 // and Append. The payload is either data (single segment) or segs
 // (gathered); exactly one is non-nil. Caller holds d.mu.
 func (d *Device) writeLocked(sp *obs.Span, sector, nSectors int64, data []byte, segs [][]byte, flags Flag) (*vclock.Future, error) {
+	pio, err := d.writeApplyLocked(sp, sector, nSectors, data, segs, flags)
+	if err != nil {
+		return nil, err
+	}
+	fut := d.clk.NewFuture()
+	// Capture scalars, not &pio: one closure allocation per command.
+	snap, fuaZ, fuaEnd := pio.snap, pio.fuaZ, pio.fuaEnd
+	d.schedule(sp, fut, pio.at, d.epoch, nil, func() {
+		if snap != nil {
+			d.persistSnapshotLocked(snap)
+		}
+		if fuaZ >= 0 {
+			d.persistZoneLocked(fuaZ, fuaEnd)
+		}
+	})
+	return fut, nil
+}
+
+// writeApplyLocked is the submit half of writeLocked: it validates the
+// command, applies payload and write-pointer state, and reserves the
+// write pipe, returning the pending completion. Caller holds d.mu and is
+// responsible for delivering the completion (schedule or a batch
+// walker).
+func (d *Device) writeApplyLocked(sp *obs.Span, sector, nSectors int64, data []byte, segs [][]byte, flags Flag) (pendingIO, error) {
 	if d.failed {
-		return nil, ErrDeviceFailed
+		return pendingIO{}, ErrDeviceFailed
 	}
 	z, off, err := d.checkSpan(sector, nSectors)
 	if err != nil {
-		return nil, err
+		return pendingIO{}, err
 	}
 	zo := &d.zones[z]
 	switch zo.state {
 	case ZoneFull:
-		return nil, ErrZoneFull
+		return pendingIO{}, ErrZoneFull
 	case ZoneReadOnly, ZoneOffline:
-		return nil, ErrZoneUnavailable
+		return pendingIO{}, ErrZoneUnavailable
 	}
 	if off != zo.wp {
-		return nil, ErrNotSequential
+		return pendingIO{}, ErrNotSequential
 	}
 	if err := d.transitionToOpenLocked(z); err != nil {
-		return nil, err
+		return pendingIO{}, err
 	}
 
 	// Apply payload and advance the write pointer at submit time; zones
@@ -291,18 +340,11 @@ func (d *Device) writeLocked(sp *obs.Span, sector, nSectors int64, data []byte, 
 	sp.MarkAt(obs.PhaseMedia, media)
 	done := media + d.cfg.WriteLatency
 
-	epoch := d.epoch
-	fut := d.clk.NewFuture()
-	fua := flags&FUA != 0
-	d.schedule(sp, fut, done, epoch, nil, func() {
-		if flushSnap != nil {
-			d.persistSnapshotLocked(flushSnap)
-		}
-		if fua {
-			d.persistZoneLocked(z, end)
-		}
-	})
-	return fut, nil
+	pio := pendingIO{at: done, snap: flushSnap, fuaZ: -1}
+	if flags&FUA != 0 {
+		pio.fuaZ, pio.fuaEnd = z, end
+	}
+	return pio, nil
 }
 
 // Read fills buf with data starting at the absolute sector. Reads below
@@ -321,23 +363,36 @@ func (d *Device) ReadSpan(sp *obs.Span, sector int64, buf []byte) *vclock.Future
 	nSectors := int64(len(buf) / d.cfg.SectorSize)
 
 	d.mu.Lock()
+	pio, err := d.readApplyLocked(sp, sector, nSectors, buf)
+	epoch := d.epoch
+	d.mu.Unlock()
+	if err != nil {
+		return d.failSpan(sp, err)
+	}
+
+	fut := d.clk.NewFuture()
+	d.schedule(sp, fut, pio.at, epoch, pio.err, nil)
+	return fut
+}
+
+// readApplyLocked is the submit half of Read: it validates the span,
+// snapshots the payload into buf, charges the read pipe and returns the
+// pending completion (whose err field carries any latent media error).
+// Caller holds d.mu.
+func (d *Device) readApplyLocked(sp *obs.Span, sector, nSectors int64, buf []byte) (pendingIO, error) {
 	if d.failed {
-		d.mu.Unlock()
-		return d.failSpan(sp, ErrDeviceFailed)
+		return pendingIO{}, ErrDeviceFailed
 	}
 	z, off, err := d.checkSpan(sector, nSectors)
 	if err != nil {
-		d.mu.Unlock()
-		return d.failSpan(sp, err)
+		return pendingIO{}, err
 	}
 	zo := &d.zones[z]
 	if zo.state == ZoneOffline {
-		d.mu.Unlock()
-		return d.failSpan(sp, ErrZoneUnavailable)
+		return pendingIO{}, ErrZoneUnavailable
 	}
 	if off+nSectors > zo.wp && zo.state != ZoneFull {
-		d.mu.Unlock()
-		return d.failSpan(sp, ErrReadBeyondWP)
+		return pendingIO{}, ErrReadBeyondWP
 	}
 
 	// Snapshot the payload at submit. Zones are immutable below the
@@ -374,12 +429,7 @@ func (d *Device) ReadSpan(sp *obs.Span, sector int64, buf []byte) *vclock.Future
 	media := reservePipe(&d.readBusy, now, occ)
 	sp.MarkAt(obs.PhaseMedia, media)
 	done := media + d.cfg.ReadLatency
-	epoch := d.epoch
-	d.mu.Unlock()
-
-	fut := d.clk.NewFuture()
-	d.schedule(sp, fut, done, epoch, rerr, nil)
-	return fut
+	return pendingIO{at: done, err: rerr, fuaZ: -1}, nil
 }
 
 // Flush persists the device's volatile write cache: every write submitted
@@ -391,25 +441,39 @@ func (d *Device) Flush() *vclock.Future {
 // FlushSpan is Flush with a tracing span.
 func (d *Device) FlushSpan(sp *obs.Span) *vclock.Future {
 	d.mu.Lock()
+	pio, err := d.flushApplyLocked(sp)
+	epoch := d.epoch
+	var hf func()
+	if err == nil {
+		hf = d.hookLocked("zns.cmd.flush", -1, d.flushCount)
+	}
+	d.mu.Unlock()
+	if err != nil {
+		return d.failSpan(sp, err)
+	}
+
+	fut := d.clk.NewFuture()
+	snap := pio.snap
+	d.schedule(sp, fut, pio.at, epoch, nil, func() { d.persistSnapshotLocked(snap) })
+	fire(hf)
+	return fut
+}
+
+// flushApplyLocked is the submit half of Flush: it snapshots every
+// zone's write pointer and charges the write pipe; the snapshot persists
+// at completion. Caller holds d.mu.
+func (d *Device) flushApplyLocked(sp *obs.Span) (pendingIO, error) {
 	if d.failed {
-		d.mu.Unlock()
-		return d.failSpan(sp, ErrDeviceFailed)
+		return pendingIO{}, ErrDeviceFailed
 	}
 	snap := d.snapshotWPsLocked()
 	now := d.clk.Now()
 	markPipe(sp, d.writeBusy, now)
 	done := reservePipe(&d.writeBusy, now, d.cfg.FlushLatency)
 	sp.MarkAt(obs.PhaseMedia, done)
-	epoch := d.epoch
 	d.flushCount++
 	d.jrn.Record(obs.EvDevFlush, d.jslot, -1, d.flushCount, 0, 0, 0)
-	hf := d.hookLocked("zns.cmd.flush", -1, d.flushCount)
-	d.mu.Unlock()
-
-	fut := d.clk.NewFuture()
-	d.schedule(sp, fut, done, epoch, nil, func() { d.persistSnapshotLocked(snap) })
-	fire(hf)
-	return fut
+	return pendingIO{at: done, snap: snap, fuaZ: -1}, nil
 }
 
 // snapshotWPsLocked captures every zone's write pointer. Caller holds d.mu.
@@ -465,18 +529,37 @@ func (d *Device) ResetZone(z int) *vclock.Future {
 // ResetZoneSpan is ResetZone with a tracing span.
 func (d *Device) ResetZoneSpan(sp *obs.Span, z int) *vclock.Future {
 	d.mu.Lock()
+	pio, hookArg, err := d.resetApplyLocked(sp, z)
+	epoch := d.epoch
+	var hf func()
+	if err == nil {
+		hf = d.hookLocked("zns.zone.reset", z, hookArg)
+	}
+	d.mu.Unlock()
+	if err != nil {
+		return d.failSpan(sp, err)
+	}
+
+	fut := d.clk.NewFuture()
+	d.schedule(sp, fut, pio.at, epoch, nil, nil)
+	fire(hf)
+	return fut
+}
+
+// resetApplyLocked is the submit half of ResetZone: the erase is applied
+// at submit (durable immediately) and the reset occupies the write pipe.
+// Returns the zone's prior write pointer for the crash-point hook.
+// Caller holds d.mu.
+func (d *Device) resetApplyLocked(sp *obs.Span, z int) (pendingIO, int64, error) {
 	if d.failed {
-		d.mu.Unlock()
-		return d.failSpan(sp, ErrDeviceFailed)
+		return pendingIO{}, 0, ErrDeviceFailed
 	}
 	if z < 0 || z >= d.cfg.NumZones {
-		d.mu.Unlock()
-		return d.failSpan(sp, ErrOutOfRange)
+		return pendingIO{}, 0, ErrOutOfRange
 	}
 	zo := &d.zones[z]
 	if zo.state == ZoneReadOnly || zo.state == ZoneOffline {
-		d.mu.Unlock()
-		return d.failSpan(sp, ErrZoneUnavailable)
+		return pendingIO{}, 0, ErrZoneUnavailable
 	}
 	switch zo.state {
 	case ZoneOpen:
@@ -492,6 +575,7 @@ func (d *Device) ResetZoneSpan(sp *obs.Span, z int) *vclock.Future {
 	zo.finished = false
 	zo.unflushed = nil
 	zo.data = nil
+	zo.zcSeq++
 	d.dropMetaLocked(z)
 	d.dropFaultsLocked(z)
 	d.resetCount++
@@ -502,14 +586,7 @@ func (d *Device) ResetZoneSpan(sp *obs.Span, z int) *vclock.Future {
 	markPipe(sp, d.writeBusy, now)
 	done := reservePipe(&d.writeBusy, now, d.cfg.ResetLatency)
 	sp.MarkAt(obs.PhaseMedia, done)
-	epoch := d.epoch
-	hf := d.hookLocked("zns.zone.reset", z, wpBefore)
-	d.mu.Unlock()
-
-	fut := d.clk.NewFuture()
-	d.schedule(sp, fut, done, epoch, nil, nil)
-	fire(hf)
-	return fut
+	return pendingIO{at: done, fuaZ: -1}, wpBefore, nil
 }
 
 // FinishZone transitions zone z to full without writing the remaining
@@ -522,18 +599,34 @@ func (d *Device) FinishZone(z int) *vclock.Future {
 // FinishZoneSpan is FinishZone with a tracing span.
 func (d *Device) FinishZoneSpan(sp *obs.Span, z int) *vclock.Future {
 	d.mu.Lock()
+	pio, hookArg, err := d.finishApplyLocked(sp, z)
+	epoch := d.epoch
+	var hf func()
+	if err == nil {
+		hf = d.hookLocked("zns.zone.finish", z, hookArg)
+	}
+	d.mu.Unlock()
+	if err != nil {
+		return d.failSpan(sp, err)
+	}
+
+	fut := d.clk.NewFuture()
+	d.schedule(sp, fut, pio.at, epoch, nil, nil)
+	fire(hf)
+	return fut
+}
+
+// finishApplyLocked is the submit half of FinishZone. Caller holds d.mu.
+func (d *Device) finishApplyLocked(sp *obs.Span, z int) (pendingIO, int64, error) {
 	if d.failed {
-		d.mu.Unlock()
-		return d.failSpan(sp, ErrDeviceFailed)
+		return pendingIO{}, 0, ErrDeviceFailed
 	}
 	if z < 0 || z >= d.cfg.NumZones {
-		d.mu.Unlock()
-		return d.failSpan(sp, ErrOutOfRange)
+		return pendingIO{}, 0, ErrOutOfRange
 	}
 	zo := &d.zones[z]
 	if zo.state == ZoneReadOnly || zo.state == ZoneOffline {
-		d.mu.Unlock()
-		return d.failSpan(sp, ErrZoneUnavailable)
+		return pendingIO{}, 0, ErrZoneUnavailable
 	}
 	switch zo.state {
 	case ZoneOpen:
@@ -553,12 +646,5 @@ func (d *Device) FinishZoneSpan(sp *obs.Span, z int) *vclock.Future {
 	markPipe(sp, d.writeBusy, now)
 	done := reservePipe(&d.writeBusy, now, d.cfg.FinishLatency)
 	sp.MarkAt(obs.PhaseMedia, done)
-	epoch := d.epoch
-	hf := d.hookLocked("zns.zone.finish", z, wpBefore)
-	d.mu.Unlock()
-
-	fut := d.clk.NewFuture()
-	d.schedule(sp, fut, done, epoch, nil, nil)
-	fire(hf)
-	return fut
+	return pendingIO{at: done, fuaZ: -1}, wpBefore, nil
 }

@@ -213,6 +213,7 @@ type zone struct {
 	finished  bool  // zone was made full by an explicit (durable) finish
 	data      []byte
 	unflushed []extent // writes in (pwp, wp], in submit order
+	zcSeq     uint64   // bumped whenever payload below wp mutates or is freed
 }
 
 // Device is a simulated ZNS SSD. All exported methods are safe for
