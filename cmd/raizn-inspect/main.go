@@ -24,6 +24,7 @@ func main() {
 	fillZones := flag.Int("fill", 2, "logical zones to fill before dumping")
 	partial := flag.Int("partial", 24, "extra sectors to write into the next zone")
 	su := flag.Int64("su", 16, "stripe unit size in sectors")
+	engine := flag.String("engine", "logged", "parity-persistence engine: logged or zraid")
 	degraded := flag.Bool("degraded", false, "fail device 0 before dumping")
 	rot := flag.Int("rot", 0, "seeded single-sector corruptions to inject into filled zones")
 	rotSeed := flag.Int64("rot-seed", 1, "seed for corruption placement")
@@ -45,12 +46,22 @@ func main() {
 		cfg.NumZones = 12
 		cfg.ZoneSize = 1280
 		cfg.ZoneCap = 1024
+		rcfg := raizn.DefaultConfig()
+		rcfg.StripeUnitSectors = *su
+		switch *engine {
+		case "logged":
+		case "zraid":
+			rcfg.ParityEngine = raizn.EngineZRAID
+			// Three PP slots (stride su+1) in flight per pool zone.
+			cfg.ZRWASectors = 3 * (*su + 1)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -engine %q (want logged or zraid)\n", *engine)
+			os.Exit(1)
+		}
 		devs := make([]*zns.Device, 5)
 		for i := range devs {
 			devs[i] = zns.NewDevice(clk, cfg)
 		}
-		rcfg := raizn.DefaultConfig()
-		rcfg.StripeUnitSectors = *su
 		tr := obs.NewTracer(clk, obs.Config{Watchdog: obs.WatchdogConfig{MinSamples: 32}})
 		rcfg.Tracer = tr
 		jrn := obs.NewJournal(clk, obs.JournalConfig{Capacity: 16384})
@@ -145,8 +156,13 @@ func main() {
 			vol.FailDevice(0)
 		}
 
-		fmt.Printf("volume: %d logical zones, zone=%d sectors, stripe=%d sectors, su=%d sectors, degraded=%d\n",
-			vol.NumZones(), vol.ZoneSectors(), vol.StripeSectors(), *su, vol.Degraded())
+		fmt.Printf("volume: %d logical zones, zone=%d sectors, stripe=%d sectors, su=%d sectors, engine=%v, degraded=%d\n",
+			vol.NumZones(), vol.ZoneSectors(), vol.StripeSectors(), *su, vol.ParityEngineKind(), vol.Degraded())
+		if vol.ParityEngineKind().String() == "zraid" {
+			st := vol.PPEngineStats()
+			fmt.Printf("parity engine: pp_volatile=%dB pp_permanent=%dB fallbacks=%d gc_runs=%d gc_migrated=%d\n",
+				st.VolatileBytes, st.PermanentBytes, st.FallbackTotal, st.GCRuns, st.GCMigrated)
+		}
 		fmt.Println("\nlogical zones:")
 		for _, zd := range vol.ReportZones() {
 			if zd.State == zns.ZoneEmpty {
@@ -191,7 +207,11 @@ func main() {
 				if zd.State == zns.ZoneEmpty {
 					continue
 				}
-				fmt.Printf(" z%d=%v/%d", zd.Index, zd.State, zd.WP-d.ZoneStart(zd.Index))
+				tag := ""
+				if role := vol.PhysZoneRole(zd.Index); role != "data" {
+					tag = "[" + role + "]"
+				}
+				fmt.Printf(" z%d%s=%v/%d", zd.Index, tag, zd.State, zd.WP-d.ZoneStart(zd.Index))
 			}
 			w, r, fl, rs := d.Counters()
 			fmt.Printf("  [written=%dKiB read=%dKiB flushes=%d resets=%d]\n", w>>10, r>>10, fl, rs)

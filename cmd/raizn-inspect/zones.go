@@ -46,13 +46,18 @@ func runZones(vol *raizn.Volume, devs []*zns.Device, clk *vclock.Clock, jrn *obs
 	evs := jrn.Events()
 	endT := clk.Now()
 	fmt.Printf("=== zones: journal holds %d events (%d dropped) ===\n", jrn.Len(), jrn.Dropped())
+	if vol.ParityEngineKind().String() == "zraid" {
+		st := vol.PPEngineStats()
+		fmt.Printf("parity engine: zraid  pp_volatile=%dB pp_permanent=%dB fallbacks=%d gc_runs=%d gc_migrated=%d\n",
+			st.VolatileBytes, st.PermanentBytes, st.FallbackTotal, st.GCRuns, st.GCMigrated)
+	}
 
 	rows := []obs.ZoneRow{logicalZoneRow(vol)}
 	for i, d := range devs {
 		if vol.Degraded() == i {
 			continue
 		}
-		rows = append(rows, deviceZoneRow(fmt.Sprintf("dev%d", i), d))
+		rows = append(rows, deviceZoneRow(fmt.Sprintf("dev%d", i), d, vol))
 	}
 	fmt.Println("\nzone heatmap:")
 	obs.WriteZoneHeatmap(os.Stdout, rows)
@@ -97,14 +102,16 @@ func logicalZoneRow(vol *raizn.Volume) obs.ZoneRow {
 
 // deviceZoneRow converts one device's zone report to a heatmap row.
 // Device write pointers are absolute LBAs; the heatmap wants them
-// zone-relative.
-func deviceZoneRow(label string, d *zns.Device) obs.ZoneRow {
+// zone-relative. Reserved zones carry their role so the renderer can
+// mark metadata and partial-parity zones distinctly.
+func deviceZoneRow(label string, d *zns.Device, vol *raizn.Volume) obs.ZoneRow {
 	row := obs.ZoneRow{Label: label}
 	cap := d.Config().ZoneCap
 	for _, zd := range d.ReportZones() {
 		row.Zones = append(row.Zones, obs.ZoneInfo{
 			Index: zd.Index, State: int(zd.State),
 			WP: zd.WP - d.ZoneStart(zd.Index), Cap: cap,
+			Role: vol.PhysZoneRole(zd.Index),
 		})
 	}
 	return row

@@ -4,10 +4,18 @@ package chaos
 // stripe writes, metadata flushes and zone lifecycle to cross every hook
 // family. "composed" layers device failure, silent corruption, scrub and
 // GC pressure on top — the schedule the shrinker is pointed at.
+// "zraid-gc" runs the zraid parity engine through PP-slot thrash, ring
+// advances and PP-zone GC.
+
+import (
+	"raizn/internal/raizn"
+	"raizn/internal/zns"
+)
 
 func init() {
 	Register(StripeReset())
 	Register(Composed())
+	Register(ZRAIDGC())
 }
 
 // StripeReset writes across stripe boundaries, flushes, resets a zone and
@@ -49,4 +57,47 @@ func Composed() *Scenario {
 		Flush()
 	b.FaultAt("raizn.write.submit", 2, Fault{Kind: OpFailDevice, Dev: 2})
 	return b.Build()
+}
+
+// ZRAIDGC runs the zraid parity engine's whole PP-zone lifecycle under
+// the crash explorer. The three data zones are positioned so their tail
+// stripes all map their parity to device 4 (stripe indices 5, 4, 3:
+// (z+s)%5 == 0), then small interleaved appends keep three partial-
+// parity images live against a two-slot ZRWA window — every persist
+// appends a fresh slot, the 7-slot head zone fills twice, and the ring
+// advance garbage-collects live slots across zones (raizn.ppgc.* crash
+// points). The tail covers slot death (stripes closing), a zone reset's
+// PP sweep, a finish, and a Maintain-driven reclaim.
+func ZRAIDGC() *Scenario {
+	dc := zns.DefaultConfig()
+	dc.NumZones = 8
+	dc.ZoneSize = 160
+	dc.ZoneCap = 128
+	dc.MaxOpenZones = 8
+	dc.MaxActiveZones = 10
+	dc.ZRWASectors = 34 // two 17-sector PP slots in flight
+	vc := raizn.Config{
+		StripeUnitSectors: 16, MetadataZones: 3, StripeBuffers: 4,
+		ParityEngine: raizn.EngineZRAID, PPZones: 2,
+	}
+	b := New("zraid-gc").Devices(5, dc).Volume(vc).
+		Write(0, 320). // zone 0 at stripe 5
+		Write(1, 256). // zone 1 at stripe 4
+		Write(2, 192). // zone 2 at stripe 3
+		Flush()
+	// Seven interleaved rounds of 8-sector appends: 21 partial-parity
+	// persists thrashing one pool, two head advances, two GCs.
+	for i := 0; i < 7; i++ {
+		b.Write(0, 8).Write(1, 8).Write(2, 8)
+	}
+	return b.Flush().
+		Write(0, 8). // eighth append: the stripes complete, slots die
+		Write(1, 8).
+		Write(2, 8).
+		Maintain(). // reclaims the dead non-head pool + metadata GC
+		Reset(2).   // reset WAL + the engine's per-zone PP sweep
+		Write(2, 64).
+		Finish(1).
+		Flush().
+		Build()
 }

@@ -42,6 +42,48 @@ func TestComposedExplore(t *testing.T) {
 	}
 }
 
+// TestZRAIDGCExplore runs the zraid parity-engine scenario through the
+// explorer: the census must include the PP-zone GC crash points (the
+// schedule is built to advance the PP ring twice), and recovery must be
+// violation-free at a sampled set of crossings under all three
+// power-loss variants.
+func TestZRAIDGCExplore(t *testing.T) {
+	s := ZRAIDGC()
+	census, err := Census(s, 11)
+	if err != nil {
+		t.Fatalf("census: %v", err)
+	}
+	want := map[string]int{
+		"raizn.pp.write":     0,
+		"raizn.ppgc.begin":   0,
+		"raizn.ppgc.migrate": 0,
+		"raizn.ppgc.done":    0,
+	}
+	for _, cp := range census {
+		if _, ok := want[cp.Name]; ok {
+			want[cp.Name]++
+		}
+	}
+	for name, n := range want {
+		if n == 0 {
+			t.Errorf("census never crossed %s", name)
+		}
+	}
+
+	res, err := Explore(s, Options{Seed: 11, MaxPoints: 40})
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	t.Logf("census=%d explored=%d recovered=%d violations=%d",
+		len(res.Census), res.Explored, res.Recovered, len(res.Violations))
+	for _, v := range res.Violations {
+		t.Errorf("violation: %v", v)
+	}
+	if res.Recovered != res.Explored {
+		t.Errorf("recovered %d of %d runs", res.Recovered, res.Explored)
+	}
+}
+
 // TestExploreDeterminism runs the same bounded exploration twice and
 // requires bit-identical results: census, counters and violations.
 func TestExploreDeterminism(t *testing.T) {

@@ -120,7 +120,7 @@ func Explore(s *Scenario, opt Options) (*Result, error) {
 // durable event explains, which a sound checker must flag. The choice is
 // deterministic so a broken-recovery repro replays exactly.
 func sabotage(s *Scenario, cap *capture) {
-	dataZones := s.Dev.NumZones - s.Vol.MetadataZones
+	dataZones := s.Dev.NumZones - s.Vol.ReservedZones()
 	for _, c := range cap.clones {
 		if c.Failed() {
 			continue

@@ -251,10 +251,30 @@ func checkStripeUnits(s *Scenario, cap *capture, view []devJournalState, add fun
 		if !cap.model.FailedDevs[dev] {
 			needEnd := st*su + intra + step
 			if max := view[dev].maxEnd[z]; max < needEnd && !view[dev].finished[z] {
-				add("unexplained-stripe-unit",
-					"zone %d sector %d..%d: dev %d zone wp in journal is %d, need %d",
-					z, lba, lba+step, dev, max, needEnd)
-				return
+				// §5.3 write-hole closure: a data unit whose device
+				// command was lost in the crash is still explainable when
+				// the stripe's other n-1 arithmetic locations — every
+				// sibling unit and the rotated parity unit — are
+				// journaled; recovery XORs the unit back, so the
+				// recovered sectors trace to journaled commands. Arises
+				// with multi-stripe writes, where per-device coalescing
+				// lets a stripe's parity survive a crash its data didn't.
+				reconstructable := true
+				for d2 := 0; d2 < int(n); d2++ {
+					if d2 == dev {
+						continue
+					}
+					if view[d2].maxEnd[z] < needEnd && !view[d2].finished[z] {
+						reconstructable = false
+						break
+					}
+				}
+				if !reconstructable {
+					add("unexplained-stripe-unit",
+						"zone %d sector %d..%d: dev %d zone wp in journal is %d, need %d",
+						z, lba, lba+step, dev, max, needEnd)
+					return
+				}
 			}
 		}
 		lba += step

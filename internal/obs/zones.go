@@ -37,9 +37,10 @@ func ZoneStateName(s int) string {
 // return, so the renderer works for logical and physical zones alike.
 type ZoneInfo struct {
 	Index int
-	State int   // zone-state ordinal
-	WP    int64 // zone-relative write pointer
-	Cap   int64 // writable capacity in sectors
+	State int    // zone-state ordinal
+	WP    int64  // zone-relative write pointer
+	Cap   int64  // writable capacity in sectors
+	Role  string // "" or "data" for striped data; "md", "pp" for reserved zones
 }
 
 // ZoneRow is one labelled row of the heatmap grid: the logical volume
@@ -51,7 +52,18 @@ type ZoneRow struct {
 
 // heatCell renders one zone as a single character: lifecycle state for
 // the terminal states, write-pointer fill shading for open zones.
+// Reserved zones keep their role letter in every non-empty state — a
+// metadata or partial-parity zone filling up is bookkeeping, not data,
+// and the grid should say so at a glance.
 func heatCell(z ZoneInfo) byte {
+	if z.State != ZoneStateEmpty {
+		switch z.Role {
+		case "md":
+			return 'm'
+		case "pp":
+			return 'p'
+		}
+	}
 	switch z.State {
 	case ZoneStateEmpty:
 		return '.'
@@ -111,7 +123,7 @@ func WriteZoneHeatmap(w io.Writer, rows []ZoneRow) {
 		}
 		fmt.Fprintf(w, "%-*s  %s\n", labelW, r.Label, cells)
 	}
-	fmt.Fprintf(w, "%*s  (. empty  1-9 open fill decile  = open >90%%  c closed  F full  R read-only  X offline)\n",
+	fmt.Fprintf(w, "%*s  (. empty  1-9 open fill decile  = open >90%%  c closed  F full  R read-only  X offline  m metadata  p partial-parity)\n",
 		labelW, "")
 }
 

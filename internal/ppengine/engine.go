@@ -1,0 +1,143 @@
+// Package ppengine defines the parity-persistence engine: the pluggable
+// mechanism a RAIZN volume uses to make sub-stripe ("partial") parity
+// crash-safe before a write completes (paper §5.1). Two engines exist:
+//
+//   - logged: the paper's design. Partial parity is appended as log
+//     records to the dedicated parity metadata zone, in one of the three
+//     ParityMode variants (header block, inline per-block metadata, or
+//     in-place ZRWA prefix updates, §5.4). Implemented inside package
+//     raizn as an adapter over its metadata manager.
+//   - zraid: the log-structured design from ZRAID (Li et al.): partial
+//     parity is written into fixed-size slots inside a small pool of
+//     dedicated PP zones through the device's Zone Random Write Area,
+//     where later updates overwrite the slot in place. Slot bytes that
+//     are superseded while still inside the ZRWA window never program to
+//     NAND (pp_volatile); only bytes the window slides past become flash
+//     writes (pp_permanent). A PP-zone garbage collector migrates live
+//     slots and resets exhausted zones. Implemented in this package
+//     (zraid.go).
+//
+// The volume talks to whichever engine Config.ParityEngine selected
+// through the Engine interface below; the write pipeline, recovery and
+// the write-amplification accounting are engine-agnostic.
+package ppengine
+
+import (
+	"raizn/internal/obs"
+	"raizn/internal/vclock"
+)
+
+// Kind identifies a parity-persistence engine implementation.
+type Kind int
+
+const (
+	// Logged is the paper's partial-parity logging design (§5.1/§5.4).
+	Logged Kind = iota
+	// ZRAID is the log-structured PP-zone design with ZRWA slot reuse.
+	ZRAID
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Logged:
+		return "logged"
+	case ZRAID:
+		return "zraid"
+	default:
+		return "unknown"
+	}
+}
+
+// Append describes one partial-parity image the volume needs persisted
+// before the triggering write may complete.
+type Append struct {
+	Dev      int   // device that will hold the stripe's parity unit
+	Zone     int   // logical zone
+	Stripe   int64 // zone-relative stripe index
+	StartLBA int64 // logical range the image covers
+	EndLBA   int64
+	Gen      uint64 // generation of the logical zone at persist time
+	Payload  []byte // parity image bytes (at most one stripe unit)
+	Flags    int    // zns.Flag bits of the triggering write
+
+	// Span is the request's root tracing span (nil while tracing is
+	// disabled); engines attach their device sub-IOs as children.
+	Span *obs.Span
+}
+
+// Record is one partial-parity image recovered by Scan, in the same
+// shape recovery consumes logged records: the latest image per
+// (zone, stripe) wins and stale generations are filtered by the caller.
+type Record struct {
+	Zone     int
+	Stripe   int64
+	StartLBA int64
+	EndLBA   int64
+	Gen      uint64
+	Payload  []byte
+}
+
+// Stats are the engine's lifetime counters. For the logged engine the
+// volume derives the byte counters from its write-amplification
+// categories (every logged PP byte is a flash write); the zraid engine
+// tracks the volatile/permanent split and its GC activity here.
+type Stats struct {
+	VolatileBytes  int64 // PP bytes superseded inside the ZRWA window (never programmed)
+	PermanentBytes int64 // PP bytes the window slid past (programmed to NAND)
+	FallbackTotal  int64 // Persist refusals that fell back to the metadata log
+	GCRuns         int64 // PP-zone garbage collections completed
+	GCMigrated     int64 // live slots migrated by GC
+}
+
+// Engine is the parity-persistence mechanism a volume plugs into its
+// write pipeline, recovery and maintenance paths. Implementations must
+// be safe for concurrent use; methods are called with no volume or zone
+// locks that the engine could need held.
+type Engine interface {
+	// Kind identifies the implementation.
+	Kind() Kind
+
+	// InPlaceParityPrefix reports whether the engine maintains the
+	// partial stripe's parity prefix in place at its final parity
+	// location (the logged engine's PPZRWA variant). The write pipeline
+	// and recovery consult this instead of testing ParityMode: when
+	// true, no PP images are produced and the tail stripe's parity
+	// prefix is expected on media.
+	InPlaceParityPrefix() bool
+
+	// Persist makes the partial-parity image crash-safe and returns the
+	// completion future the triggering write must wait on (nil when the
+	// engine had nothing to submit, e.g. a degraded parity device).
+	// ok=false means the engine cannot place the image right now (e.g.
+	// PP-zone exhaustion with nothing reclaimable); the caller falls back
+	// to a metadata-log record, so backpressure never blocks the write
+	// path.
+	Persist(a Append) (fut *vclock.Future, ok bool)
+
+	// StripeClosed tells the engine stripe s of logical zone z reached
+	// full parity on media; any PP state for it is dead and reclaimable.
+	StripeClosed(zone int, stripe int64)
+
+	// ZoneReset tells the engine logical zone z was reset; all PP state
+	// for the zone is dead.
+	ZoneReset(zone int)
+
+	// Scan returns every decodable partial-parity image the engine
+	// persisted, for recovery replay. Torn images are dropped; when
+	// several images exist for one (zone, stripe) the newest is
+	// returned. The logged engine returns nil: its records surface
+	// through the ordinary metadata-zone scan.
+	Scan() ([]Record, error)
+
+	// Stats returns the engine's lifetime counters.
+	Stats() Stats
+
+	// Maintain runs the engine's housekeeping (PP-zone GC for zraid);
+	// called from Volume.Maintain.
+	Maintain() error
+
+	// Format discards all engine persistence state (resetting PP zones
+	// for zraid). Called once after mount-time recovery has replayed and
+	// re-checkpointed everything live, so the engine starts fresh.
+	Format() error
+}

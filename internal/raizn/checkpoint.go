@@ -21,7 +21,7 @@ func (v *Volume) checkpointRecords(dev int, kind mdKind) []*record {
 			numDev:    uint32(v.lt.n),
 			devIndex:  uint32(dev),
 			su:        v.lt.su,
-			physZones: uint32(v.lt.numZones + v.lt.mdZones),
+			physZones: uint32(v.lt.numZones + v.lt.mdZones + v.lt.ppZones),
 			mdZones:   uint32(v.lt.mdZones),
 		}
 		out = append(out, &record{typ: recSuperblock, gen: v.nextMDSeq(), inline: sb.encode()})

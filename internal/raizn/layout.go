@@ -18,6 +18,7 @@ type layout struct {
 	physZoneCap  int64 // writable sectors per physical zone
 	numZones     int   // logical zones (= physical data zones per device)
 	mdZones      int   // reserved metadata zones per device (after data zones)
+	ppZones      int   // reserved partial-parity zones per device (zraid engine; after md zones)
 }
 
 // stripeSectors returns the data sectors carried by one stripe.
@@ -104,6 +105,11 @@ func (l *layout) stripeStart(z int, s int64) int64 {
 // mdZoneIndex returns the physical zone index of the i-th reserved
 // metadata zone (0 <= i < mdZones), which live after the data zones.
 func (l *layout) mdZoneIndex(i int) int { return l.numZones + i }
+
+// ppZoneIndex returns the physical zone index of the i-th reserved
+// partial-parity zone (0 <= i < ppZones), which live after the metadata
+// zones. Only the zraid engine reserves any.
+func (l *layout) ppZoneIndex(i int) int { return l.numZones + l.mdZones + i }
 
 // intraInterval is a half-open interval of intra-stripe-unit offsets.
 type intraInterval struct{ a, b int64 }

@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 
 	"raizn/internal/obs"
+	"raizn/internal/ppengine"
 	"raizn/internal/ring"
 	"raizn/internal/vclock"
 	"raizn/internal/zns"
@@ -69,8 +70,21 @@ type Config struct {
 	ArrayID uint64
 	// ParityMode selects how sub-stripe parity is made crash-safe. The
 	// default (PPLog) is the paper's design; the alternatives implement
-	// the §5.4 optimizations for devices that support them.
+	// the §5.4 optimizations for devices that support them. ParityMode
+	// only applies to the logged engine; EngineZRAID requires PPLog (the
+	// default) and persists partial parity its own way.
 	ParityMode ParityMode
+	// ParityEngine selects the parity-persistence engine (see
+	// internal/ppengine): EngineLogged (default) appends partial parity
+	// to the metadata zones in one of the ParityMode variants;
+	// EngineZRAID writes it log-structured into a dedicated pool of PP
+	// zones through the devices' ZRWA, where superseded images never
+	// program to flash.
+	ParityEngine ParityEngine
+	// PPZones is the number of physical zones per device reserved for
+	// the zraid engine's partial-parity pool (minimum and default 2).
+	// Ignored by the logged engine.
+	PPZones int
 	// DisableResetWAL skips the zone-reset write-ahead log (§5.2). ONLY
 	// for the ablation benchmarks: without the WAL, a crash between the
 	// physical resets of a logical zone is unrecoverable ambiguity.
@@ -138,6 +152,39 @@ const (
 	PPZRWA
 )
 
+// ParityEngine selects the parity-persistence engine implementation.
+type ParityEngine int
+
+const (
+	// EngineLogged is the paper's partial-parity logging (§5.1),
+	// including its §5.4 ParityMode variants.
+	EngineLogged ParityEngine = iota
+	// EngineZRAID is the ZRAID-style log-structured design: partial
+	// parity lives in fixed slots inside dedicated PP zones, overwritten
+	// in place through the ZRWA and reclaimed by a PP-zone garbage
+	// collector. Requires devices with ZRWASectors >= StripeUnitSectors+1.
+	EngineZRAID
+)
+
+// ReservedZones returns how many physical zones per device the
+// configuration reserves outside the logical address space: the metadata
+// zones plus, for the zraid engine, the partial-parity pool. Usable
+// before withDefaults is applied.
+func (c Config) ReservedZones() int {
+	r := c.MetadataZones
+	if r == 0 {
+		r = 3
+	}
+	if c.ParityEngine == EngineZRAID {
+		p := c.PPZones
+		if p == 0 {
+			p = 2
+		}
+		r += p
+	}
+	return r
+}
+
 // DefaultConfig returns the paper's evaluation configuration: 64 KiB
 // stripe units, 3 metadata zones, 8 stripe buffers per open zone.
 func DefaultConfig() Config {
@@ -161,6 +208,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.RelocationThreshold == 0 {
 		out.RelocationThreshold = 64
+	}
+	if out.ParityEngine == EngineZRAID && out.PPZones == 0 {
+		out.PPZones = 2
 	}
 	return out
 }
@@ -253,6 +303,11 @@ type Volume struct {
 	zones []*logicalZone
 
 	maxOpen int
+
+	// eng is the parity-persistence engine (Config.ParityEngine): the
+	// logged adapter in engine_logged.go or the zraid engine in
+	// internal/ppengine. Immutable after construction.
+	eng ppengine.Engine
 
 	// devTable is an immutable snapshot of the device/metadata-manager
 	// slots, swapped atomically whenever v.devs/v.md/rebuild state change
@@ -431,7 +486,20 @@ func newVolume(clk *vclock.Clock, devs []*zns.Device, cfg Config) (*Volume, erro
 	if dc.ZoneCap%cfg.StripeUnitSectors != 0 {
 		return nil, errors.New("raizn: zone capacity not a multiple of the stripe unit")
 	}
-	numZones := dc.NumZones - cfg.MetadataZones
+	ppZones := 0
+	if cfg.ParityEngine == EngineZRAID {
+		ppZones = cfg.PPZones
+		if ppZones < 2 {
+			return nil, errors.New("raizn: the zraid engine needs at least 2 PP zones per device")
+		}
+		if cfg.ParityMode != PPLog {
+			return nil, errors.New("raizn: the zraid engine replaces the parity log; ParityMode must be PPLog")
+		}
+		if dc.ZRWASectors < cfg.StripeUnitSectors+1 {
+			return nil, errors.New("raizn: the zraid engine requires a random write area of at least one PP slot (stripe unit + header)")
+		}
+	}
+	numZones := dc.NumZones - cfg.MetadataZones - ppZones
 	if numZones < 1 {
 		return nil, errors.New("raizn: no data zones left after metadata reservation")
 	}
@@ -443,10 +511,16 @@ func newVolume(clk *vclock.Clock, devs []*zns.Device, cfg Config) (*Volume, erro
 		physZoneCap:  dc.ZoneCap,
 		numZones:     numZones,
 		mdZones:      cfg.MetadataZones,
+		ppZones:      ppZones,
 	}
 	maxOpen := cfg.MaxOpenZones
 	if maxOpen == 0 {
 		maxOpen = dc.MaxOpenZones - cfg.MetadataZones
+		if ppZones > 0 {
+			// The zraid engine keeps at most one PP zone open per device
+			// (the pool head; advancing finishes the old head).
+			maxOpen--
+		}
 		if maxOpen < 1 {
 			maxOpen = 1
 		}
@@ -541,8 +615,42 @@ func newVolume(clk *vclock.Clock, devs []*zns.Device, cfg Config) (*Volume, erro
 		v.zones[z] = v.newLogicalZone(z)
 	}
 	v.publishDevTableLocked()
+	if cfg.ParityEngine == EngineZRAID {
+		eng, err := ppengine.NewZRAID(ppengine.ZRAIDConfig{
+			Clock:       clk,
+			NumDevices:  lt.n,
+			Device:      v.dev,
+			PPZone:      lt.ppZoneIndex,
+			PPZones:     ppZones,
+			SectorSize:  dc.SectorSize,
+			SU:          lt.su,
+			ZoneCap:     dc.ZoneCap,
+			ZRWASectors: dc.ZRWASectors,
+			Charge: func(hdr, pay int64) {
+				v.stats.waPPHeaderBytes.Add(hdr)
+				v.stats.waPPPayloadBytes.Add(pay)
+			},
+			Journal: jrn,
+			Hook:    v.fireHook,
+		})
+		if err != nil {
+			return nil, err
+		}
+		v.eng = eng
+	} else {
+		v.eng = &loggedEngine{v: v}
+	}
+	registerEngineMetrics(reg, cfg.MetricsLabel, v.eng)
 	return v, nil
 }
+
+// ParityEngineKind reports which parity-persistence engine the volume
+// runs.
+func (v *Volume) ParityEngineKind() ppengine.Kind { return v.eng.Kind() }
+
+// PPEngineStats returns the parity-persistence engine's lifetime
+// counters (volatile/permanent byte split, fallbacks, GC activity).
+func (v *Volume) PPEngineStats() ppengine.Stats { return v.eng.Stats() }
 
 // Tracer returns the volume's span tracer (never nil; disabled unless
 // the caller enabled it or supplied an enabled one via Config).
@@ -610,6 +718,22 @@ func (v *Volume) ZoneSectors() int64 { return v.lt.zoneSectors() }
 
 // NumSectors returns the volume's logical capacity in sectors.
 func (v *Volume) NumSectors() int64 { return v.lt.numSectors() }
+
+// PhysZoneRole reports how the array uses physical zone index z on every
+// device: "data" (striped user data + parity), "md" (reserved metadata
+// log), or "pp" (dedicated partial-parity pool; only the zraid engine
+// reserves any). Zones past the reserved region are "data" — the layout
+// never addresses them.
+func (v *Volume) PhysZoneRole(z int) string {
+	switch {
+	case z >= v.lt.numZones+v.lt.mdZones && z < v.lt.numZones+v.lt.mdZones+v.lt.ppZones:
+		return "pp"
+	case z >= v.lt.numZones && z < v.lt.numZones+v.lt.mdZones:
+		return "md"
+	default:
+		return "data"
+	}
+}
 
 // StripeSectors returns the data sectors per stripe (D stripe units).
 func (v *Volume) StripeSectors() int64 { return v.lt.stripeSectors() }

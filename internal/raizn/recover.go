@@ -32,10 +32,15 @@ func Mount(clk *vclock.Clock, devs []*zns.Device, cfg Config) (*Volume, error) {
 			continue
 		}
 		dc := d.Config()
+		ppZones := 0
+		if cfg.ParityEngine == EngineZRAID {
+			ppZones = cfg.PPZones // metadata zones sit below the PP pool
+		}
 		lt := &layout{
 			n: 1, d: 1, su: cfg.StripeUnitSectors,
 			physZoneSize: dc.ZoneSize, physZoneCap: dc.ZoneCap,
-			numZones: dc.NumZones - cfg.MetadataZones, mdZones: cfg.MetadataZones,
+			numZones: dc.NumZones - cfg.MetadataZones - ppZones,
+			mdZones:  cfg.MetadataZones, ppZones: ppZones,
 		}
 		recs, err := scanMDZones(d, lt, dc.SectorSize)
 		if err != nil {
@@ -188,6 +193,28 @@ func (v *Volume) recover() error {
 		}
 	}
 
+	// Merge the parity-persistence engine's own scan (zraid PP-zone
+	// slots; nil for logged, whose records surfaced in the metadata scan
+	// above). The same generation filter applies, and a later reset-WAL
+	// application below invalidates engine records along with logged
+	// ones.
+	engRecs, err := v.eng.Scan()
+	if err != nil {
+		return err
+	}
+	for _, r := range engRecs {
+		if r.Zone < 0 || r.Zone >= v.lt.numZones || r.Gen != v.gen[r.Zone] {
+			continue
+		}
+		st.pp[r.Zone] = append(st.pp[r.Zone], record{
+			typ:      recPartialParity,
+			startLBA: r.StartLBA,
+			endLBA:   r.EndLBA,
+			gen:      r.Gen,
+			payload:  r.Payload,
+		})
+	}
+
 	// Apply valid zone-reset WALs: a logically non-empty zone with a
 	// pending reset intent is re-reset (§5.2).
 	genDirty := false
@@ -259,7 +286,13 @@ func (v *Volume) recover() error {
 	if err := v.compactRemappedZones(); err != nil {
 		return err
 	}
-	return v.consolidateMetadata()
+	if err := v.consolidateMetadata(); err != nil {
+		return err
+	}
+	// Everything live — including partial parity for in-progress stripes
+	// — is re-checkpointed in the metadata zones now; the engine's own
+	// persistence (the zraid PP zones) is stale and starts fresh.
+	return v.eng.Format()
 }
 
 // zoneHasData reports whether any live physical zone of logical zone z
@@ -445,7 +478,7 @@ func (v *Volume) expectedPhysFill(z, i int, wp int64) int64 {
 		s := full
 		if u := v.lt.unitOfDev(z, s, i); u >= 0 {
 			fill += clampI64(tail-int64(u)*v.lt.su, 0, v.lt.su)
-		} else if v.cfg.ParityMode == PPZRWA {
+		} else if v.eng.InPlaceParityPrefix() {
 			// In ZRWA mode the tail stripe's parity prefix IS on media.
 			fill += min(tail, v.lt.su)
 		}
@@ -525,7 +558,7 @@ func (v *Volume) repairStripe(z int, s int64, present []int64, q int64, ppLogs [
 	// In ZRWA mode a partial stripe carries an in-place parity prefix on
 	// media; a single unit torn below that prefix can be repaired from
 	// it even though the stripe never completed (§5.4).
-	if v.cfg.ParityMode == PPZRWA && q == v.lt.su {
+	if v.eng.InPlaceParityPrefix() && q == v.lt.su {
 		// A unit is torn (rather than simply not yet written) when a
 		// LATER unit holds data: sequential writes fill units in order.
 		torn := -1
@@ -571,7 +604,7 @@ func (v *Volume) repairStripe(z int, s int64, present []int64, q int64, ppLogs [
 	// partial-parity log coverage. Counting anything beyond it into the
 	// zone would leave unreadable sectors below the write pointer.
 	recon := q
-	if v.cfg.ParityMode != PPZRWA {
+	if !v.eng.InPlaceParityPrefix() {
 		if _, ppcov := v.parityImageFromLogs(z, s, ppLogs); ppcov > recon {
 			recon = ppcov
 		}
@@ -614,7 +647,7 @@ func (v *Volume) repairStripe(z int, s int64, present []int64, q int64, ppLogs [
 			trunc = true
 		}
 	}
-	if q > 0 && g < v.lt.stripeSectors() && !finished && v.cfg.ParityMode != PPZRWA {
+	if q > 0 && g < v.lt.stripeSectors() && !finished && !v.eng.InPlaceParityPrefix() {
 		// Parity persisted for an incomplete stripe: debris unless the
 		// zone was finished (FinishZone writes prefix parity) or the
 		// array updates parity prefixes in place (PPZRWA, §5.4).
@@ -754,7 +787,7 @@ func (v *Volume) rebuildStripeBuffer(lz *logicalZone, s int64, fill int64, ppLog
 	// prefix in ZRWA mode), then XOR with the surviving units.
 	var img []byte
 	var covered int64
-	if v.cfg.ParityMode == PPZRWA {
+	if v.eng.InPlaceParityPrefix() {
 		covered = v.parityPrefixLen(z, s)
 		img = make([]byte, v.lt.su*int64(v.sectorSize))
 		if covered > 0 {

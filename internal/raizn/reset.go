@@ -108,7 +108,11 @@ func (v *Volume) doResetZone(sp *obs.Span, lz *logicalZone) error {
 	}
 	v.fireHook("raizn.reset.done", obs.SrcLogical, z, int64(gen+1))
 
-	// 4. Reset the in-memory zone state.
+	// 4. Reset the in-memory zone state. The generation bump made every
+	// partial-parity image for the zone stale; tell the engine so zraid
+	// slots become reclaimable (no-op for logged records, which the gen
+	// filter invalidates).
+	v.eng.ZoneReset(z)
 	v.dropRelocEntries(z)
 	v.clearZoneChecksums(z)
 	lz.mu.Lock()
@@ -211,7 +215,7 @@ func (v *Volume) FinishZone(z int) error {
 	if tail := lz.wp % stripeSec; tail != 0 {
 		s := lz.wp / stripeSec
 		if buf, ok := lz.active[s]; ok {
-			if v.cfg.ParityMode != PPZRWA {
+			if !v.eng.InPlaceParityPrefix() {
 				// In ZRWA mode the parity prefix is already in place.
 				img := v.parityImageLocked(buf, []intraInterval{{0, min(buf.fill, v.lt.su)}})
 				v.issueDeviceWrite(nil, v.lt.parityDev(z, s), v.lt.parityPBA(z, s), img, 0, 0, true, z, s, &futs, &pending)
@@ -223,6 +227,8 @@ func (v *Volume) FinishZone(z int) error {
 			lz.cond.Broadcast()
 		}
 	}
+	// The sealed zone has no in-progress stripes: all PP state is dead.
+	v.eng.ZoneReset(z)
 	for i := range v.devs {
 		if d := v.dev(i); d != nil {
 			futs = append(futs, subIO{dev: i, fut: d.FinishZone(z)})
@@ -310,6 +316,10 @@ func (v *Volume) Maintain() error {
 		if err := m.forceGC(mdParity); err != nil {
 			return err
 		}
+	}
+	// Engine housekeeping: the zraid engine force-reclaims its PP zones.
+	if err := v.eng.Maintain(); err != nil {
+		return err
 	}
 	v.mu.Lock()
 	reset := false

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"raizn/internal/obs"
+	"raizn/internal/ppengine"
 )
 
 // Stats are lifetime volume counters, useful for write-amplification
@@ -111,6 +112,28 @@ func newStatsCounters(r *obs.Registry, label string) statsCounters {
 		waMetadataBytes:  r.Counter(n("raizn_wa_metadata_bytes")),
 		waRebuildBytes:   r.Counter(n("raizn_wa_rebuild_bytes")),
 	}
+}
+
+// registerEngineMetrics publishes the parity-persistence engine's
+// counters as pull-style gauges. Like the statsCounters, a non-empty
+// array label namespaces every series (name{array="..."}) so arrays
+// sharing a volume-manager registry stay collision-free; HELP text is
+// registered under the bare names, shared by all arrays.
+func registerEngineMetrics(r *obs.Registry, label string, eng ppengine.Engine) {
+	r.Help("raizn_pp_volatile_bytes", "partial-parity bytes superseded inside the ZRWA window, never programmed to flash (zraid engine)")
+	r.Help("raizn_pp_permanent_bytes", "partial-parity bytes programmed to flash (the ZRWA window slid past them, or every logged PP byte)")
+	r.Help("raizn_pp_fallback_total", "partial-parity persists refused by the engine (PP-zone exhaustion) and diverted to the metadata log")
+	r.Help("raizn_gc_runs_total", "PP-zone garbage collections completed (zraid engine)")
+	r.Help("raizn_gc_migrated_total", "live partial-parity slots migrated by PP-zone garbage collection (zraid engine)")
+	n := func(name string) string { return obs.LabeledName(name, "array", label) }
+	g := func(name string, f func(ppengine.Stats) int64) {
+		r.GaugeFunc(n(name), func() int64 { return f(eng.Stats()) })
+	}
+	g("raizn_pp_volatile_bytes", func(s ppengine.Stats) int64 { return s.VolatileBytes })
+	g("raizn_pp_permanent_bytes", func(s ppengine.Stats) int64 { return s.PermanentBytes })
+	g("raizn_pp_fallback_total", func(s ppengine.Stats) int64 { return s.FallbackTotal })
+	g("raizn_gc_runs_total", func(s ppengine.Stats) int64 { return s.GCRuns })
+	g("raizn_gc_migrated_total", func(s ppengine.Stats) int64 { return s.GCMigrated })
 }
 
 func registerWAHelp(r *obs.Registry) {

@@ -6,6 +6,7 @@ import (
 
 	"raizn/internal/obs"
 	"raizn/internal/parity"
+	"raizn/internal/ppengine"
 	"raizn/internal/ring"
 	"raizn/internal/vclock"
 	"raizn/internal/zns"
@@ -319,6 +320,7 @@ func (v *Volume) planWriteLocked(ws *writeState, lz *logicalZone, off int64, dat
 	ss := int64(v.sectorSize)
 	stripeSec := v.lt.stripeSectors()
 	z := lz.idx
+	ipp := v.eng.InPlaceParityPrefix()
 
 	for len(data) > 0 {
 		s := off / stripeSec
@@ -350,12 +352,12 @@ func (v *Volume) planWriteLocked(ws *writeState, lz *logicalZone, off int64, dat
 			// Stripe complete: one full parity unit plus the CRC row.
 			// (In ZRWA mode the unit goes in place through the random
 			// write area and is counted as such at submit.)
-			if v.cfg.ParityMode != PPZRWA {
+			if !ipp {
 				v.stats.fullParityWrites.Add(1)
 			}
 			ws.plan = append(ws.plan, plannedIO{
 				dev: pDev, pba: pPBA, isParity: true, s: s,
-				zrwa: v.cfg.ParityMode == PPZRWA,
+				zrwa: ipp,
 			})
 			var src []byte
 			if buf == nil {
@@ -365,7 +367,7 @@ func (v *Volume) planWriteLocked(ws *writeState, lz *logicalZone, off int64, dat
 				planIdx: len(ws.plan) - 1, s: s, buf: buf, src: src,
 				fill: stripeSec, complete: true,
 			})
-		case v.cfg.ParityMode == PPZRWA:
+		case ipp:
 			// Stripe still partial: update the parity prefix in place
 			// through the random write area (§5.4).
 			ws.plan = append(ws.plan, plannedIO{
@@ -524,6 +526,16 @@ func (v *Volume) computeWrite(ws *writeState) {
 			useMeta: v.cfg.ParityMode == PPInlineMeta,
 			z:       ws.z,
 			s:       t.s,
+			hasPP:   true,
+			pp: ppengine.Append{
+				Dev:      v.lt.parityDev(ws.z, t.s),
+				Zone:     ws.z,
+				Stripe:   t.s,
+				StartLBA: v.lt.stripeStart(ws.z, t.s) + t.a,
+				EndLBA:   v.lt.stripeStart(ws.z, t.s) + t.b,
+				Gen:      gen,
+				Payload:  payload,
+			},
 		})
 	}
 }
@@ -657,7 +669,16 @@ func (v *Volume) submitWriteLocked(ws *writeState, lz *logicalZone, ok bool) {
 			t.buf.stripe = -1
 			t.buf.fill = 0
 			lz.free = append(lz.free, t.buf)
+			// The stripe's full parity is on media: its partial-parity
+			// state is dead. (A pp append still in flight for this stripe
+			// may slip past this and linger live; the zone-full sweep
+			// below and zone reset/finish reclaim such strays.)
+			v.eng.StripeClosed(z, t.s)
 		}
+	}
+	if ws.full && ok {
+		// Every stripe of the zone is complete: sweep all PP state.
+		v.eng.ZoneReset(z)
 	}
 
 	if lz.submittedWP < ws.end {
@@ -763,6 +784,14 @@ type pendingMD struct {
 	useMeta  bool // header in per-block metadata (PPInlineMeta)
 	z        int
 	s        int64
+
+	// pp routes the entry through the parity-persistence engine instead
+	// of a direct metadata append (hasPP marks it set; the struct is
+	// embedded by value to keep the hot path allocation-free). rec stays
+	// populated as the §5.1 log fallback taken when the engine reports
+	// backpressure (ok=false).
+	hasPP bool
+	pp    ppengine.Append
 }
 
 // issuePendingMD performs the deferred metadata appends, appending their
@@ -775,6 +804,21 @@ func (v *Volume) issuePendingMD(sp *obs.Span, pending []pendingMD, futs []subIO)
 	tbl := v.loadDevs()
 	for i := range pending {
 		p := &pending[i]
+		if p.hasPP {
+			// Partial parity goes through the engine. On backpressure
+			// (zraid PP-zone exhaustion) fall through to a plain §5.1 log
+			// record so the write path never blocks on PP-zone GC.
+			a := p.pp
+			a.Span = sp
+			a.Flags = int(p.flags)
+			if f, ok := v.eng.Persist(a); ok {
+				if f != nil {
+					futs = append(futs, subIO{dev: p.dev, fut: f})
+				}
+				continue
+			}
+			p.useMeta = false
+		}
 		m := tbl.md[p.dev]
 		if m == nil {
 			continue // device failed: degraded

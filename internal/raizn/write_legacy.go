@@ -3,6 +3,7 @@ package raizn
 import (
 	"raizn/internal/obs"
 	"raizn/internal/parity"
+	"raizn/internal/ppengine"
 	"raizn/internal/vclock"
 	"raizn/internal/zns"
 )
@@ -23,6 +24,8 @@ func (v *Volume) runWriteLegacy(sp *obs.Span, lz *logicalZone, off, end int64, f
 	}
 	if full && err == nil {
 		v.closeZoneSlot(lz, zns.ZoneFull)
+		// Every stripe of the zone is complete: sweep all PP state.
+		v.eng.ZoneReset(lz.idx)
 	}
 	lz.mu.Unlock()
 	if err != nil {
@@ -89,7 +92,7 @@ func (v *Volume) issueWriteLocked(sp *obs.Span, lz *logicalZone, off int64, data
 		if buf.fill == stripeSec {
 			// Stripe complete: write the full parity unit and recycle
 			// the buffer.
-			if v.cfg.ParityMode == PPZRWA {
+			if v.eng.InPlaceParityPrefix() {
 				v.issueZRWAParityLocked(sp, lz, s, buf, flags, &futs)
 			} else {
 				v.issueParityLocked(sp, lz, s, buf, flags, &futs, &pending)
@@ -100,7 +103,8 @@ func (v *Volume) issueWriteLocked(sp *obs.Span, lz *logicalZone, off int64, data
 			buf.fill = 0
 			lz.free = append(lz.free, buf)
 			lz.cond.Broadcast()
-		} else if v.cfg.ParityMode == PPZRWA {
+			v.eng.StripeClosed(lz.idx, s)
+		} else if v.eng.InPlaceParityPrefix() {
 			// Stripe still partial: update the parity prefix in place
 			// through the random write area (§5.4).
 			v.issueZRWAParityLocked(sp, lz, s, buf, flags, &futs)
@@ -166,17 +170,28 @@ func (v *Volume) partialParityLocked(lz *logicalZone, s int64, buf *stripeBuffer
 	regions := v.lt.intraRegions(a, b)
 	payload := v.parityImageLocked(buf, regions)
 	v.stats.partialParityLogs.Add(1)
+	gen := v.Generation(lz.idx)
 	return &pendingMD{
 		dev: dev,
 		rec: &record{
 			typ:      recPartialParity,
 			startLBA: v.lt.stripeStart(lz.idx, s) + a,
 			endLBA:   v.lt.stripeStart(lz.idx, s) + b,
-			gen:      v.Generation(lz.idx),
+			gen:      gen,
 			payload:  payload,
 		},
 		useMeta: v.cfg.ParityMode == PPInlineMeta,
 		z:       lz.idx,
 		s:       s,
+		hasPP:   true,
+		pp: ppengine.Append{
+			Dev:      dev,
+			Zone:     lz.idx,
+			Stripe:   s,
+			StartLBA: v.lt.stripeStart(lz.idx, s) + a,
+			EndLBA:   v.lt.stripeStart(lz.idx, s) + b,
+			Gen:      gen,
+			Payload:  payload,
+		},
 	}
 }

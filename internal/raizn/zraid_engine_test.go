@@ -1,0 +1,435 @@
+package raizn
+
+import (
+	"testing"
+
+	"raizn/internal/obs"
+	"raizn/internal/ppengine"
+	"raizn/internal/vclock"
+	"raizn/internal/zns"
+)
+
+// zraidDevConfig gives the devices the ZRWA the zraid engine's PP slots
+// overwrite through: two slots (su=16 -> stride 17) per window.
+func zraidDevConfig() zns.Config {
+	cfg := testDevConfig()
+	cfg.ZRWASectors = 34
+	return cfg
+}
+
+func zraidConfig() Config {
+	cfg := DefaultConfig()
+	cfg.ParityEngine = EngineZRAID
+	return cfg
+}
+
+// runZraidVol runs fn on a 5-device zraid volume: 8 zones - 3 metadata
+// - 2 PP = 3 logical zones of 512 sectors.
+func runZraidVol(t *testing.T, fn func(c *vclock.Clock, v *Volume, devs []*zns.Device)) {
+	t.Helper()
+	c := vclock.New()
+	c.Run(func() {
+		devs := make([]*zns.Device, 5)
+		for i := range devs {
+			devs[i] = zns.NewDevice(c, zraidDevConfig())
+		}
+		v, err := Create(c, devs, zraidConfig())
+		if err != nil {
+			t.Fatalf("Create(zraid): %v", err)
+		}
+		fn(c, v, devs)
+	})
+}
+
+func TestZRAIDCreateGeometry(t *testing.T) {
+	runZraidVol(t, func(c *vclock.Clock, v *Volume, devs []*zns.Device) {
+		if got := v.NumZones(); got != 3 {
+			t.Errorf("NumZones = %d, want 3 (8 phys - 3 md - 2 pp)", got)
+		}
+		if k := v.ParityEngineKind(); k != ppengine.ZRAID {
+			t.Errorf("engine kind = %v, want zraid", k)
+		}
+		if got := zraidConfig().ReservedZones(); got != 5 {
+			t.Errorf("ReservedZones = %d, want 5", got)
+		}
+	})
+}
+
+func TestZRAIDValidation(t *testing.T) {
+	c := vclock.New()
+	c.Run(func() {
+		// No ZRWA on the devices: the slots cannot be overwritten.
+		devs := newTestDevices(c, 5)
+		if _, err := Create(c, devs, zraidConfig()); err == nil {
+			t.Error("zraid on ZRWA-less devices should be rejected")
+		}
+		// ParityMode variants belong to the logged engine.
+		devs2 := make([]*zns.Device, 5)
+		for i := range devs2 {
+			devs2[i] = zns.NewDevice(c, zraidDevConfig())
+		}
+		cfg := zraidConfig()
+		cfg.ParityMode = PPInlineMeta
+		if _, err := Create(c, devs2, cfg); err == nil {
+			t.Error("zraid with ParityMode=PPInlineMeta should be rejected")
+		}
+	})
+}
+
+// TestZRAIDEndToEnd drives sub-stripe and spanning writes, degraded
+// reads, and a rebuild on the zraid engine.
+func TestZRAIDEndToEnd(t *testing.T) {
+	runZraidVol(t, func(c *vclock.Clock, v *Volume, devs []*zns.Device) {
+		sizes := []int{5, 11, 16, 33, 64, 3, 60, 64, 20}
+		lba := int64(0)
+		for _, n := range sizes {
+			mustWriteV(t, v, lba, n, 0)
+			lba += int64(n)
+		}
+		checkReadV(t, v, 0, int(lba))
+
+		v.Flush()
+		victim := v.lt.dataDev(0, 0, 1)
+		v.FailDevice(victim)
+		checkReadV(t, v, 0, int(lba))
+
+		if _, err := v.ReplaceDevice(zns.NewDevice(c, zraidDevConfig())); err != nil {
+			t.Fatalf("rebuild: %v", err)
+		}
+		checkReadV(t, v, 0, int(lba))
+
+		st := v.PPEngineStats()
+		if st.VolatileBytes == 0 {
+			t.Error("no volatile PP bytes: slot overwrites never happened")
+		}
+	})
+}
+
+// TestZRAIDCrashRecovery power-cuts mid-zone and expects the flushed
+// prefix back, with appends continuing.
+func TestZRAIDCrashRecovery(t *testing.T) {
+	c := vclock.New()
+	c.Run(func() {
+		devs := make([]*zns.Device, 5)
+		for i := range devs {
+			devs[i] = zns.NewDevice(c, zraidDevConfig())
+		}
+		cfg := zraidConfig()
+		v, err := Create(c, devs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustWriteV(t, v, 0, 100, 0)
+		if err := v.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		mustWriteV(t, v, 100, 30, 0) // unflushed tail
+		for _, d := range devs {
+			d.PowerLoss(nil)
+		}
+		v2, err := Mount(c, devs, cfg)
+		if err != nil {
+			t.Fatalf("Mount: %v", err)
+		}
+		if k := v2.ParityEngineKind(); k != ppengine.ZRAID {
+			t.Fatalf("recovered volume engine = %v", k)
+		}
+		wp := v2.Zone(0).WP
+		if wp < 100 {
+			t.Fatalf("flushed data lost: WP=%d", wp)
+		}
+		checkReadV(t, v2, 0, int(wp))
+
+		// Recovery re-checkpoints live parity into the metadata zones and
+		// formats the engine: the PP pool starts empty.
+		recs, err := v2.eng.Scan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 0 {
+			t.Errorf("PP pool not formatted after recovery: %d records", len(recs))
+		}
+
+		mustWriteV(t, v2, wp, 40, 0)
+		checkReadV(t, v2, 0, int(wp)+40)
+	})
+}
+
+// TestZRAIDCrashAllSubmitted cuts every zone at its submitted write
+// pointer (nothing torn, nothing flushed) and expects recovery to
+// produce a readable volume including the PP-protected tail stripe.
+func TestZRAIDCrashAllSubmitted(t *testing.T) {
+	c := vclock.New()
+	c.Run(func() {
+		devs := make([]*zns.Device, 5)
+		for i := range devs {
+			devs[i] = zns.NewDevice(c, zraidDevConfig())
+		}
+		cfg := zraidConfig()
+		v, err := Create(c, devs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustWriteV(t, v, 0, 64, 0)
+		mustWriteV(t, v, 64, 24, 0) // partial stripe: PP slot written
+
+		cc := captureCrash(devs, 0)
+		cc.allClk.Run(func() {
+			v2, err := Mount(cc.allClk, cc.allDevs, cfg)
+			if err != nil {
+				t.Fatalf("Mount all-submitted clone: %v", err)
+			}
+			wp := v2.Zone(0).WP
+			if wp < 64 {
+				t.Fatalf("full stripe lost: WP=%d", wp)
+			}
+			checkReadV(t, v2, 0, int(wp))
+		})
+	})
+}
+
+// TestZRAIDWAAccountingCloses replays the logged engine's closure
+// invariant on zraid: every byte the raizn layer puts on a device —
+// including PP slot writes and GC migrations — lands in exactly one
+// category, so the category sum equals device host bytes.
+func TestZRAIDWAAccountingCloses(t *testing.T) {
+	c := vclock.New()
+	c.Run(func() {
+		devs := make([]*zns.Device, 5)
+		for i := range devs {
+			devs[i] = zns.NewDevice(c, zraidDevConfig())
+		}
+		j := obs.NewJournal(c, obs.JournalConfig{Capacity: 8192})
+		j.Enable()
+		cfg := zraidConfig()
+		cfg.Journal = j
+		v, err := Create(c, devs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zs := v.ZoneSectors()
+		for off := int64(0); off < zs; off += 32 {
+			mustWriteV(t, v, off, 32, 0)
+		}
+		mustWriteV(t, v, zs, 24, 0)
+		if err := v.FinishZone(1); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.ResetZone(0); err != nil {
+			t.Fatal(err)
+		}
+		mustWriteV(t, v, 0, 48, 0)
+		if err := v.Maintain(); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.Flush(); err != nil {
+			t.Fatal(err)
+		}
+
+		rep := v.WAReport()
+		if got, want := rep.RaiznBytes(), rep.DeviceHostBytes(); got != want {
+			t.Fatalf("category sum %d != device host bytes %d (unaccounted writes)", got, want)
+		}
+		byName := map[string]int64{}
+		for _, cat := range rep.Categories {
+			byName[cat.Name] = cat.Bytes
+		}
+		for _, name := range []string{"data", "parity", "pp-payload", "pp-header", "metadata"} {
+			if byName[name] == 0 {
+				t.Errorf("category %s empty; workload should have exercised it", name)
+			}
+		}
+	})
+}
+
+// TestZRAIDBackpressureFallback exhausts one device's PP pool with live
+// slots and checks the write path falls back to the metadata log — the
+// write succeeds, FallbackTotal grows, and the WA accounting still
+// closes.
+func TestZRAIDBackpressureFallback(t *testing.T) {
+	c := vclock.New()
+	c.Run(func() {
+		devs := make([]*zns.Device, 5)
+		for i := range devs {
+			devs[i] = zns.NewDevice(c, zraidDevConfig())
+		}
+		j := obs.NewJournal(c, obs.JournalConfig{Capacity: 8192})
+		j.Enable()
+		cfg := zraidConfig()
+		cfg.Journal = j
+		v, err := Create(c, devs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Pack device 0's pool with live slots the volume never closes.
+		ss := v.SectorSize()
+		refused := 0
+		for i := 0; i < 40 && refused < 3; i++ {
+			fut, ok := v.eng.Persist(ppengine.Append{
+				Dev: 0, Zone: 0, Stripe: int64(1000 + i),
+				StartLBA: 0, EndLBA: 8, Gen: 999,
+				Payload: make([]byte, 8*ss),
+			})
+			if !ok {
+				refused++
+				continue
+			}
+			if err := fut.Wait(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if refused == 0 {
+			t.Fatal("PP pool never exhausted")
+		}
+		before := v.PPEngineStats()
+
+		// Stripe 4 of zone 0 sends its partial parity to device 0
+		// (parityDev = 4 - (s+z)%5): four full stripes, then a partial.
+		for i := 0; i < 4; i++ {
+			mustWriteV(t, v, int64(i)*64, 64, 0)
+		}
+		mustWriteV(t, v, 256, 8, 0)
+		checkReadV(t, v, 0, 264)
+
+		after := v.PPEngineStats()
+		if after.FallbackTotal <= before.FallbackTotal {
+			t.Errorf("no fallback counted: %d -> %d", before.FallbackTotal, after.FallbackTotal)
+		}
+		if err := v.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		rep := v.WAReport()
+		if got, want := rep.RaiznBytes(), rep.DeviceHostBytes(); got != want {
+			t.Fatalf("WA accounting does not close under fallback: %d != %d", got, want)
+		}
+	})
+}
+
+// TestZRAIDGCUnderConcurrentWrites races zone writers against a driver
+// that churns device 0's PP pool: it appends a fresh slot per step and
+// closes each stripe only after it has slid out of the ZRWA window, so
+// the slots die unreusable, the head fills, and the ring advance must
+// garbage-collect while real writes are in flight.
+func TestZRAIDGCUnderConcurrentWrites(t *testing.T) {
+	runZraidVol(t, func(c *vclock.Clock, v *Volume, devs []*zns.Device) {
+		ss := v.SectorSize()
+		wg := c.NewWaitGroup()
+		wg.Add(1)
+		c.Go(func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				fut, ok := v.eng.Persist(ppengine.Append{
+					Dev: 0, Zone: 0, Stripe: int64(2000 + i),
+					StartLBA: 0, EndLBA: 8, Gen: 999,
+					Payload: make([]byte, 8*ss),
+				})
+				if ok {
+					if err := fut.Wait(); err != nil {
+						t.Errorf("driver persist %d: %v", i, err)
+						return
+					}
+				}
+				if i >= 2 {
+					// Two slots behind the head: outside the window, so
+					// the dead slot is reclaimable only by GC.
+					v.eng.StripeClosed(0, int64(2000+i-2))
+				}
+			}
+		})
+		for z := 0; z < v.NumZones(); z++ {
+			z := z
+			wg.Add(1)
+			c.Go(func() {
+				defer wg.Done()
+				lba := int64(z) * v.ZoneSectors()
+				var futs []*vclock.Future
+				for _, n := range []int64{4, 8, 52, 64, 12, 116, 4, 60, 128, 20} {
+					futs = append(futs, v.SubmitWrite(lba, lbaPattern(v, lba, int(n)), 0))
+					lba += n
+				}
+				if err := vclock.WaitAll(futs...); err != nil {
+					t.Errorf("zone %d workload: %v", z, err)
+				}
+			})
+		}
+		wg.Wait()
+
+		for z := 0; z < v.NumZones(); z++ {
+			checkReadV(t, v, int64(z)*v.ZoneSectors(), 468)
+		}
+		st := v.PPEngineStats()
+		if st.GCRuns == 0 {
+			t.Error("head zones filled but no PP-zone GC ran")
+		}
+		if st.GCMigrated == 0 {
+			t.Error("GC ran but migrated no live slots")
+		}
+	})
+}
+
+// TestZRAIDDegradedMaintain fails a device mid-workload and checks
+// writes, reads, and the engine's GC tolerate the hole.
+func TestZRAIDDegradedMaintain(t *testing.T) {
+	runZraidVol(t, func(c *vclock.Clock, v *Volume, devs []*zns.Device) {
+		mustWriteV(t, v, 0, 100, 0)
+		v.Flush()
+		v.FailDevice(2)
+		mustWriteV(t, v, 100, 60, 0)
+		checkReadV(t, v, 0, 160)
+		if err := v.Maintain(); err != nil {
+			t.Fatalf("Maintain degraded: %v", err)
+		}
+		mustWriteV(t, v, 160, 24, 0)
+		checkReadV(t, v, 0, 184)
+	})
+}
+
+// TestEngineParityModesDifferential proves the engine seam preserved
+// the logged behavior: for every ParityMode, the pipelined and legacy
+// write paths produce byte-identical recovered state after a power cut.
+func TestEngineParityModesDifferential(t *testing.T) {
+	modes := []struct {
+		name string
+		mode ParityMode
+	}{
+		{"PPLog", PPLog},
+		{"PPInlineMeta", PPInlineMeta},
+		{"PPZRWA", PPZRWA},
+	}
+	for _, m := range modes {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			var snaps [2]volSnapshot
+			for pathIdx, legacy := range []bool{false, true} {
+				c := vclock.New()
+				c.Run(func() {
+					devs := make([]*zns.Device, 5)
+					for i := range devs {
+						devs[i] = zns.NewDevice(c, extDevConfig())
+					}
+					cfg := DefaultConfig()
+					cfg.ParityMode = m.mode
+					cfg.LegacyWritePath = legacy
+					v, err := Create(c, devs, cfg)
+					if err != nil {
+						t.Fatalf("Create: %v", err)
+					}
+					if v.ParityEngineKind() != ppengine.Logged {
+						t.Fatal("ParityMode runs must use the logged engine")
+					}
+					runSeqDiffWorkload(t, v)
+					for _, d := range devs {
+						d.PowerLoss(nil)
+					}
+					v2, err := Mount(c, devs, cfg)
+					if err != nil {
+						t.Fatalf("Mount after cut: %v", err)
+					}
+					snaps[pathIdx] = snapshotVolume(t, v2)
+				})
+			}
+			compareSnapshots(t, "mode-"+m.name, snaps[0], snaps[1])
+		})
+	}
+}

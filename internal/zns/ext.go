@@ -97,7 +97,9 @@ func (d *Device) WriteZRWASpan(sp *obs.Span, sector int64, data []byte, flags Fl
 		zo.unflushed = append(zo.unflushed, extent{start: zo.wp, end: end})
 		zo.wp = end
 	}
+	zo.zrwa = true
 	d.finalizeFullLocked(z)
+	d.programLocked(z)
 	d.hostWriteBytes += nSectors * int64(d.cfg.SectorSize)
 	d.writeCmds++
 	if d.jrn.Enabled() {

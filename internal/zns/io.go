@@ -300,6 +300,7 @@ func (d *Device) writeApplyLocked(sp *obs.Span, sector, nSectors int64, data []b
 	zo.wp = end
 	zo.unflushed = append(zo.unflushed, extent{start: off, end: end})
 	d.finalizeFullLocked(z)
+	d.programLocked(z)
 	d.hostWriteBytes += nSectors * int64(d.cfg.SectorSize)
 	d.writeCmds++
 	if d.jrn.Enabled() {
@@ -576,6 +577,10 @@ func (d *Device) resetApplyLocked(sp *obs.Span, z int) (pendingIO, int64, error)
 	zo.unflushed = nil
 	zo.data = nil
 	zo.zcSeq++
+	// Unprogrammed (in-ZRWA) bytes are discarded without ever reaching
+	// flash; the cumulative program counter never rolls back.
+	zo.prog = 0
+	zo.zrwa = false
 	d.dropMetaLocked(z)
 	d.dropFaultsLocked(z)
 	d.resetCount++
@@ -638,6 +643,7 @@ func (d *Device) finishApplyLocked(sp *obs.Span, z int) (pendingIO, int64, error
 	wpBefore := zo.wp
 	zo.state = ZoneFull
 	zo.finished = true
+	d.programLocked(z) // finishing commits any in-ZRWA tail to flash
 	d.persistZoneLocked(z, zo.wp)
 	d.jrn.Record(obs.EvZoneFinish, d.jslot, z,
 		wpBefore, 0, int64(d.nOpen), int64(d.nActive))

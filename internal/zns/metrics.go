@@ -19,6 +19,7 @@ func (d *Device) RegisterMetrics(r *obs.Registry, prefix string) {
 		}
 	}
 	r.GaugeFunc(prefix+"_host_write_bytes", lockedInt(func() int64 { return d.hostWriteBytes }))
+	r.GaugeFunc(prefix+"_flash_program_bytes", lockedInt(func() int64 { return d.flashProgramBytes }))
 	r.GaugeFunc(prefix+"_host_read_bytes", lockedInt(func() int64 { return d.hostReadBytes }))
 	r.GaugeFunc(prefix+"_write_cmds_total", lockedInt(func() int64 { return d.writeCmds }))
 	r.GaugeFunc(prefix+"_flushes_total", lockedInt(func() int64 { return d.flushCount }))

@@ -106,6 +106,12 @@ func (d *Device) applyCutLocked(z int, cut int64) {
 	zo.wp = cut
 	zo.pwp = cut
 	zo.unflushed = nil
+	// In-ZRWA bytes past the cut are gone; the cumulative flash counter
+	// never rolls back, but the zone's programmed pointer cannot exceed
+	// its surviving contents.
+	if zo.prog > cut {
+		zo.prog = cut
+	}
 }
 
 // CrashClone returns a new device, bound to clk, whose state is this

@@ -214,6 +214,15 @@ type zone struct {
 	data      []byte
 	unflushed []extent // writes in (pwp, wp], in submit order
 	zcSeq     uint64   // bumped whenever payload below wp mutates or is freed
+
+	// Flash-program accounting (see programLocked). prog is the zone-
+	// relative sector up to which data has been programmed to NAND; zrwa
+	// marks a zone that has seen a WriteZRWA since its last reset, whose
+	// tail therefore lingers in the device's ZRWA buffer until it slides
+	// out of the window. Pure accounting: durability is governed solely by
+	// pwp/unflushed.
+	prog int64
+	zrwa bool
 }
 
 // Device is a simulated ZNS SSD. All exported methods are safe for
@@ -250,6 +259,13 @@ type Device struct {
 	writeCmds      int64 // write commands accepted (a Writev counts once)
 	flushCount     int64
 	resetCount     int64
+
+	// flashProgramBytes counts bytes committed to NAND (programLocked): the
+	// flash-write-amplification denominator's counterpart. Host bytes that
+	// only ever lived in a zone's ZRWA before being overwritten or the zone
+	// reset are never programmed and never counted. Cumulative; survives
+	// zone resets and power cuts.
+	flashProgramBytes int64
 
 	// Event journal (AttachJournal); zone lifecycle transitions record
 	// into it under jslot. Nil until attached; Record is nil-safe and
@@ -360,6 +376,35 @@ func (d *Device) WriteCommands() int64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.writeCmds
+}
+
+// FlashProgramBytes returns the cumulative bytes programmed to NAND. For
+// zones written only sequentially this equals the host bytes written to
+// them; for zones written through the ZRWA, bytes are programmed lazily
+// when they slide out of the window (or the zone fills/finishes), so
+// in-window overwrites and resets of in-window data never reach flash.
+func (d *Device) FlashProgramBytes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.flashProgramBytes
+}
+
+// programLocked advances zone z's programmed pointer after its write
+// pointer moved and charges flashProgramBytes. A zone untouched by ZRWA
+// programs everything up to wp immediately; a ZRWA-touched zone keeps the
+// trailing ZRWASectors in the device buffer (implicit-commit model: data
+// is programmed only when the window slides past it), except that a full
+// or finished zone commits its whole contents. Caller holds d.mu.
+func (d *Device) programLocked(z int) {
+	zo := &d.zones[z]
+	target := zo.wp
+	if zo.zrwa && zo.state != ZoneFull && !zo.finished {
+		target = zo.wp - d.cfg.ZRWASectors
+	}
+	if target > zo.prog {
+		d.flashProgramBytes += (target - zo.prog) * int64(d.cfg.SectorSize)
+		zo.prog = target
+	}
 }
 
 // jStateLocked journals zone z's new lifecycle state together with the
