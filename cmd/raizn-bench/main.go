@@ -21,6 +21,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiments")
 	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
 	metrics := flag.String("metrics", "", "write a JSON metrics-registry snapshot per experiment to this path (-all inserts the experiment name before the extension)")
+	flight := flag.String("flight", "", "ride a flight recorder on each experiment's raizn arrays and write the sampled time series (raizn-flight/v1 JSON) to this path (-all inserts the experiment name before the extension)")
 	compare := flag.Bool("compare", false, "compare two bench result files: raizn-bench -compare old.json new.json")
 	threshold := flag.Float64("threshold", 5, "regression threshold in percent for -compare")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -83,7 +84,11 @@ func main() {
 		}
 	case *all:
 		for _, e := range bench.Experiments() {
-			opts := bench.Options{Quick: *quick, MetricsPath: metricsPathFor(*metrics, e.Name)}
+			opts := bench.Options{
+				Quick:       *quick,
+				MetricsPath: metricsPathFor(*metrics, e.Name),
+				FlightPath:  metricsPathFor(*flight, e.Name),
+			}
 			if err := bench.RunOpts(e.Name, os.Stdout, opts); err != nil {
 				fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, err)
 				os.Exit(1)
@@ -91,7 +96,7 @@ func main() {
 			fmt.Println()
 		}
 	case *exp != "":
-		if err := bench.RunOpts(*exp, os.Stdout, bench.Options{Quick: *quick, MetricsPath: *metrics}); err != nil {
+		if err := bench.RunOpts(*exp, os.Stdout, bench.Options{Quick: *quick, MetricsPath: *metrics, FlightPath: *flight}); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -8,6 +8,8 @@
 //
 //	raizn-faults -chaos <scenario>                 enumerate crash points
 //	raizn-faults -chaos <scenario> -explore        crash at each, check recovery
+//	raizn-faults -chaos <scenario> -forensics N    crash at crossing N, recover the
+//	                                               persisted black box, print report
 //	raizn-faults -replay <seed-string>             replay a printed repro
 //
 // Every run prints its seed; the same seed reproduces the same run bit
@@ -67,6 +69,7 @@ func main() {
 	chaosName := flag.String("chaos", "", "run the named chaos scenario (see -explore); lists crash points without it")
 	explore := flag.Bool("explore", false, "with -chaos: crash at every sampled crossing and check recovery")
 	maxPoints := flag.Int("max", 0, "with -explore: cap explored crash points, sampled evenly (0 = all)")
+	forensics := flag.Int("forensics", -1, "with -chaos: crash at census crossing N, recover the persisted flight black box from the clones, and print its incident report")
 	replay := flag.String("replay", "", "replay a chaos repro seed string as printed for a violation")
 	flag.Parse()
 
@@ -74,7 +77,7 @@ func main() {
 		os.Exit(runReplay(*replay))
 	}
 	if *chaosName != "" {
-		os.Exit(runChaos(*chaosName, *explore, *maxPoints, *seed))
+		os.Exit(runChaos(*chaosName, *explore, *maxPoints, *forensics, *seed))
 	}
 
 	fmt.Printf("seed=%d\n", *seed)
@@ -103,13 +106,23 @@ func main() {
 // runChaos drives the crash-point explorer over a registered scenario.
 // Without -explore it only enumerates the crossings. Returns the exit
 // code: 0 clean, 1 violations, 2 usage error.
-func runChaos(name string, explore bool, maxPoints int, seed int64) int {
+func runChaos(name string, explore bool, maxPoints, forensics int, seed int64) int {
 	s := chaos.Lookup(name)
 	if s == nil {
 		fmt.Fprintf(os.Stderr, "unknown chaos scenario %q (have %v)\n", name, chaos.Names())
 		return 2
 	}
 	fmt.Printf("chaos scenario %s seed=%d ops=%d\n", s.Name, seed, len(s.Ops))
+
+	if forensics >= 0 {
+		rep, err := chaos.CrashForensics(s, forensics, chaos.VarFlushed, chaos.Options{Seed: seed})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "forensics: %v\n", err)
+			return 1
+		}
+		fmt.Print(rep)
+		return 0
+	}
 
 	if !explore {
 		census, err := chaos.Census(s, seed)
@@ -135,6 +148,13 @@ func runChaos(name string, explore bool, maxPoints int, seed int64) int {
 	for _, v := range res.Violations {
 		fmt.Printf("violation: %v\n", v)
 		fmt.Printf("  replay: %s\n", chaos.ReproFor(s, v, opt).SeedString())
+		// File the incident: recover the black box the crashed run
+		// persisted and print the forensics a deployment would see.
+		if rep, err := chaos.ForensicsFor(s, v, opt); err == nil {
+			fmt.Print(rep)
+		} else {
+			fmt.Printf("  forensics: %v\n", err)
+		}
 	}
 	if len(res.Violations) > 0 {
 		return 1

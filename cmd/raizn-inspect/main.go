@@ -4,7 +4,10 @@
 // of §4.1 — plus the device-health and scrub-progress view of the
 // background scrub subsystem. With -serve it instead dumps the
 // multi-tenant serving stack: a volume's extent map across hosted
-// arrays, the per-tenant QoS table, and the SLO alarm.
+// arrays, the per-tenant QoS table, and the SLO alarm. With -incident it
+// runs the incident-forensics demo: the flight recorder rides a workload
+// whose tail slows one device, the slow-IO watchdog trips, and the
+// frozen black box renders its deterministic incident report.
 package main
 
 import (
@@ -14,6 +17,7 @@ import (
 	"os"
 
 	"raizn/internal/obs"
+	"raizn/internal/obs/flight"
 	"raizn/internal/raizn"
 	"raizn/internal/scrub"
 	"raizn/internal/vclock"
@@ -32,13 +36,18 @@ func main() {
 	trace := flag.Bool("trace", false, "trace a mixed read/write workload: per-phase breakdown, queue-depth timeline, watchdog-flagged slow IOs")
 	zones := flag.Bool("zones", false, "zone-state observability: heatmap, occupancy timeline, lifetime stats, layered WA report")
 	serve := flag.Bool("serve", false, "multi-tenant serving view: extent map, per-tenant QoS table, SLO alarm breaches")
-	slowDev := flag.Int("slow-dev", 2, "device to slow during the traced workload (with -trace)")
-	slowFactor := flag.Float64("slow-factor", 8, "service-time multiplier applied to -slow-dev (with -trace)")
+	incident := flag.Bool("incident", false, "incident-forensics demo: flight-record a workload, trip the slow-IO watchdog, print the deterministic incident report")
+	slowDev := flag.Int("slow-dev", 2, "device to slow during the traced workload (with -trace/-incident)")
+	slowFactor := flag.Float64("slow-factor", 8, "service-time multiplier applied to -slow-dev (with -trace/-incident)")
 	flag.Parse()
 
 	clk := vclock.New()
 	if *serve {
 		clk.Run(func() { runServeView(clk) })
+		return
+	}
+	if *incident {
+		clk.Run(func() { runIncident(clk, *slowDev, *slowFactor) })
 		return
 	}
 	clk.Run(func() {
@@ -217,6 +226,96 @@ func main() {
 			fmt.Printf("  [written=%dKiB read=%dKiB flushes=%d resets=%d]\n", w>>10, r>>10, fl, rs)
 		}
 	})
+}
+
+// runIncident is the end-to-end forensics demo: the full black-box
+// stack — metrics registry, event journal, enabled tracer, flight
+// recorder — rides a demo array through a mixed workload whose tail
+// slows one device. The slow-IO watchdog flags the stragglers, the
+// first flag freezes the recorder with a slow-io trigger, and the
+// incident report renders to stdout. Everything runs on the virtual
+// clock, so two invocations print byte-identical reports (CI diffs
+// them).
+func runIncident(clk *vclock.Clock, slowDev int, factor float64) {
+	cfg := zns.DefaultConfig()
+	cfg.NumZones = 12
+	cfg.ZoneSize = 1280
+	cfg.ZoneCap = 1024
+	devs := make([]*zns.Device, 5)
+	for i := range devs {
+		devs[i] = zns.NewDevice(clk, cfg)
+	}
+	if slowDev < 0 || slowDev >= len(devs) {
+		fmt.Fprintf(os.Stderr, "incident: -slow-dev %d out of range\n", slowDev)
+		os.Exit(1)
+	}
+	reg := obs.NewRegistry()
+	jrn := obs.NewJournal(clk, obs.JournalConfig{Capacity: 16384})
+	jrn.Enable()
+	tr := obs.NewTracer(clk, obs.Config{Watchdog: obs.WatchdogConfig{MinSamples: 32}})
+	tr.Enable()
+	rcfg := raizn.DefaultConfig()
+	rcfg.Metrics = reg
+	rcfg.Tracer = tr
+	rcfg.Journal = jrn
+	vol, err := raizn.Create(clk, devs, rcfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rec := flight.New(flight.Config{
+		Clock: clk, Registry: reg, Journal: jrn, Label: "demo",
+		Degraded:   func() bool { return vol.Degraded() >= 0 },
+		MinSamples: 32,
+	})
+	tr.SetObserver(rec)
+
+	const chunk = 32
+	ops := int(vol.ZoneSectors() / chunk)
+	if ops > 128 {
+		ops = 128
+	}
+	slowAt := ops * 3 / 4
+	wbuf := make([]byte, chunk*vol.SectorSize())
+	rbuf := make([]byte, chunk*vol.SectorSize())
+	rng := rand.New(rand.NewSource(7))
+	var inc *flight.Incident
+	for i := 0; i < ops; i++ {
+		if i == slowAt {
+			devs[slowDev].SetSlowdown(factor)
+		}
+		if err := vol.Write(int64(i)*chunk, wbuf, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "incident write:", err)
+			os.Exit(1)
+		}
+		if i > 0 {
+			off := int64(rng.Intn(i)) * chunk
+			if err := vol.Read(off, rbuf); err != nil {
+				fmt.Fprintln(os.Stderr, "incident read:", err)
+				os.Exit(1)
+			}
+		}
+		if inc == nil {
+			if flagged, _ := tr.Watchdog().Flagged(); len(flagged) > 0 {
+				inc = rec.Incident(flight.Trigger{
+					Kind: flight.TrigSlowIO,
+					Detail: fmt.Sprintf("watchdog flagged %d slow IO(s); dev%d running %.0fx slow since op %d",
+						len(flagged), slowDev, factor, slowAt),
+					Dev:  slowDev,
+					Zone: -1,
+				})
+			}
+		}
+	}
+	devs[slowDev].SetSlowdown(1)
+	if inc == nil {
+		fmt.Fprintln(os.Stderr, "incident: watchdog never fired; try a higher -slow-factor")
+		os.Exit(1)
+	}
+	if err := inc.WriteReport(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }
 
 // runTrace drives a mixed read/write workload with tracing enabled,

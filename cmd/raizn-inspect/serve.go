@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"raizn/internal/obs"
+	"raizn/internal/obs/flight"
 	"raizn/internal/raizn"
 	"raizn/internal/vclock"
 	"raizn/internal/volmgr"
@@ -94,6 +95,16 @@ func runServeView(clk *vclock.Clock) {
 	})
 	if err != nil {
 		serveFatal("create volume:", err)
+	}
+
+	// Each hosted array gets a flight recorder; an SLO breach freezes the
+	// breaching tenant's most-implicated array's recorder (CheckIncidents
+	// below), which is how a serving stack attributes a tenant's bad tail
+	// to the array causing it.
+	for _, a := range m.Arrays() {
+		rec := flight.New(flight.Config{Clock: clk, Registry: m.Metrics(), Label: a.ID()})
+		rec.Poll()
+		m.AttachRecorder(a.ID(), rec)
 	}
 
 	slowed.SetSlowdown(serveSlowFact)
@@ -202,6 +213,23 @@ func runServeView(clk *vclock.Clock) {
 	for _, b := range breaches {
 		fmt.Printf("  BREACH %-7s p99 %v > bar %v (%d samples)\n",
 			b.Tenant, b.P99.Round(time.Microsecond), b.Bar.Round(time.Microsecond), b.Samples)
+	}
+
+	fmt.Println("\nper-tenant array attribution (most implicated first):")
+	for _, st := range stats {
+		fmt.Printf("  %-7s", st.ID)
+		for _, at := range v.TenantArrayAttribution(st.ID) {
+			fmt.Printf("  %s: ops=%d errs=%d mean=%v", at.Array, at.Ops, at.Errors,
+				at.MeanLat.Round(time.Microsecond))
+		}
+		fmt.Println()
+	}
+
+	incidents := m.CheckIncidents()
+	fmt.Printf("\nincidents filed: %d\n", len(incidents))
+	for _, inc := range incidents {
+		t := inc.Box.Trigger
+		fmt.Printf("  %-10s tenant=%-7s array=%s  %s\n", t.Kind, t.Tenant, t.Array, t.Detail)
 	}
 
 	fmt.Println("\narrays:")

@@ -89,7 +89,7 @@ func runServe(w io.Writer, quick bool) error {
 			devs := make([]*zns.Device, sc.numDevices)
 			for i := range devs {
 				devs[i] = zns.NewDevice(clk, dcfg)
-				devs[i].RegisterMetrics(runRegistry, fmt.Sprintf("a%d_zns_dev%d", a, i))
+				devs[i].RegisterMetrics(runRegistry, fmt.Sprintf("zns_a%d_dev%d", a, i))
 			}
 			rcfg := raizn.DefaultConfig()
 			rcfg.Metrics = runRegistry

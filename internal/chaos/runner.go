@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"raizn/internal/obs"
+	"raizn/internal/obs/flight"
 	"raizn/internal/raizn"
 	"raizn/internal/vclock"
 	"raizn/internal/zns"
@@ -82,6 +83,7 @@ type runCtx struct {
 	devs []*zns.Device
 	vol  *raizn.Volume
 	jrn  *obs.Journal
+	rec  *flight.Recorder
 	seed int64
 
 	mu       sync.Mutex
@@ -195,6 +197,17 @@ func (rc *runCtx) captureLocked(cp CrashPoint, idx int) {
 	}
 }
 
+// persistBox snapshots the flight recorder and writes it through the
+// raizn metadata path. Failures are non-fatal: a degraded array keeps
+// running without a flight log rather than aborting the workload.
+func (rc *runCtx) persistBox() {
+	data, err := rc.rec.Snapshot().Marshal()
+	if err != nil {
+		return
+	}
+	_ = rc.vol.PersistBlackBox(data)
+}
+
 // applyFault applies an anchored fault to the live run. Errors are
 // ignored: a shrunken schedule may have already removed the op that made
 // the fault applicable (e.g. the device is already failed).
@@ -241,6 +254,16 @@ func runScenario(s *Scenario, expect []CrashPoint, target int, variant Variant, 
 	jrn.Enable() // before Create, so array-setup IO is explainable too
 	cfg := s.volConfig()
 	cfg.Journal = jrn
+	// Every scenario flies with the full black-box stack: metrics
+	// registry, enabled tracer, and a flight recorder tail-sampling the
+	// traffic. The recorder's state is periodically persisted through the
+	// array's metadata path (see the op loop below), so any crash capture
+	// can recover a recent black box from the surviving clones.
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(clk, obs.Config{SinkCapacity: 256})
+	tr.Enable()
+	cfg.Metrics = reg
+	cfg.Tracer = tr
 
 	var vol *raizn.Volume
 	var cerr error
@@ -249,8 +272,17 @@ func runScenario(s *Scenario, expect []CrashPoint, target int, variant Variant, 
 		return nil, nil, fmt.Errorf("chaos: create: %w", cerr)
 	}
 
+	rec := flight.New(flight.Config{
+		Clock: clk, Registry: reg, Journal: jrn, Label: s.Name,
+		Degraded: func() bool { return vol.Degraded() >= 0 },
+		// Chaos runs are short; start latency-based tail sampling almost
+		// immediately so crash captures carry span evidence.
+		MinSamples: 8,
+	})
+	tr.SetObserver(rec)
+
 	rc := &runCtx{
-		s: s, clk: clk, devs: devs, vol: vol, jrn: jrn, seed: seed,
+		s: s, clk: clk, devs: devs, vol: vol, jrn: jrn, rec: rec, seed: seed,
 		model: &Model{
 			ZoneSectors: vol.ZoneSectors(),
 			Zones:       make([]ZoneModel, vol.NumZones()),
@@ -264,12 +296,24 @@ func runScenario(s *Scenario, expect []CrashPoint, target int, variant Variant, 
 		d.AttachHook(rc.hook, i)
 	}
 
+	// Persist the black box a few times across the schedule, so crashes
+	// anywhere past the first quarter recover a recent one. The cadence
+	// is a pure function of the op count — census and crash runs persist
+	// at identical crossings, keeping the census valid.
+	persistEvery := len(s.Ops) / 4
+	if persistEvery < 1 {
+		persistEvery = 1
+	}
 	clk.Run(func() {
-		for _, op := range s.Ops {
+		for i, op := range s.Ops {
 			if rc.stopped() {
 				return
 			}
 			rc.applyOp(op)
+			rec.Poll() // keep metric series moving between spans
+			if (i+1)%persistEvery == 0 && !rc.stopped() {
+				rc.persistBox()
+			}
 		}
 	})
 

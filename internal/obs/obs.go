@@ -39,6 +39,10 @@ const (
 	numOps
 )
 
+// NumOps is the number of Op values; external samplers size per-op
+// tables with it.
+const NumOps = int(numOps)
+
 var opNames = [numOps]string{
 	"write", "read", "reset", "flush", "scrub",
 	"dev-write", "dev-read", "dev-reset", "dev-finish", "dev-flush",
@@ -111,11 +115,22 @@ type Span struct {
 // on different shards, so recording a finished root span is one
 // uncontended lock plus a slot store, and total retention is bounded.
 type Tracer struct {
-	clk     *vclock.Clock
-	enabled atomic.Bool
-	nextID  atomic.Uint64
-	shards  [sinkShards]sinkShard
-	wd      *Watchdog
+	clk      *vclock.Clock
+	enabled  atomic.Bool
+	nextID   atomic.Uint64
+	shards   [sinkShards]sinkShard
+	wd       *Watchdog
+	observer atomic.Pointer[SpanObserver]
+}
+
+// SpanObserver receives every finished root span, after the sink and the
+// watchdog have seen it. Observers run on the completing goroutine and
+// must not block; the flight recorder's tail sampler is the canonical
+// implementation. The observer is only consulted when tracing is
+// enabled — a disabled tracer never produces root spans, so an attached
+// observer costs nothing on that path.
+type SpanObserver interface {
+	ObserveSpan(s *Span)
 }
 
 const sinkShards = 16
@@ -159,6 +174,19 @@ func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
 // Watchdog returns the tracer's slow-IO watchdog.
 func (t *Tracer) Watchdog() *Watchdog { return t.wd }
 
+// SetObserver attaches o as the tracer's span observer (nil detaches).
+// At most one observer is active; the last call wins.
+func (t *Tracer) SetObserver(o SpanObserver) {
+	if t == nil {
+		return
+	}
+	if o == nil {
+		t.observer.Store(nil)
+		return
+	}
+	t.observer.Store(&o)
+}
+
 // Begin starts a root span, or returns nil when the tracer is nil or
 // disabled — the nil span makes every downstream call a no-op.
 func (t *Tracer) Begin(op Op, lba, bytes int64) *Span {
@@ -180,6 +208,9 @@ func (t *Tracer) record(s *Span) {
 	sh.pos = (sh.pos + 1) % len(sh.ring)
 	sh.mu.Unlock()
 	t.wd.observe(s)
+	if ob := t.observer.Load(); ob != nil {
+		(*ob).ObserveSpan(s)
+	}
 }
 
 // Snapshot returns the retained root spans in submission order.

@@ -400,3 +400,54 @@ func BenchmarkEnabledTracing(b *testing.B) {
 		}
 	})
 }
+
+// TestWatchdogWindowBudget: under a sustained breach the watchdog keeps
+// at most MaxPerWindow span trees per virtual-time window, counts the
+// rest as dropped, and mirrors the drop count into a bound gauge; a new
+// window reopens the budget.
+func TestWatchdogWindowBudget(t *testing.T) {
+	clk := vclock.New()
+	clk.Run(func() {
+		tr := NewTracer(clk, Config{Watchdog: WatchdogConfig{
+			Multiple: 3, MinSamples: 8, MaxFlagged: 64,
+			Window: 10 * time.Millisecond, MaxPerWindow: 2,
+		}})
+		tr.Enable()
+		wd := tr.Watchdog()
+		g := &Gauge{}
+		wd.BindDropGauge(g)
+		end := func(d time.Duration) {
+			sp := tr.Begin(OpWrite, 0, 4096)
+			sp.EndAt(clk.Now()+d, nil)
+		}
+		for i := 0; i < 20; i++ {
+			end(time.Microsecond) // warm the p99 near zero
+		}
+		// Sustained breach inside one 10ms window. Each outlier raises
+		// the rolling p99 it contributes to, so later ones escalate past
+		// 3x the previous to keep breaching; all end before t=10ms.
+		for _, d := range []time.Duration{
+			100 * time.Microsecond, 400 * time.Microsecond,
+			1300 * time.Microsecond, 4 * time.Millisecond,
+		} {
+			end(d)
+		}
+		flagged, dropped := wd.Flagged()
+		if len(flagged) != 2 {
+			t.Fatalf("window retained %d spans, want MaxPerWindow=2", len(flagged))
+		}
+		if dropped != 2 {
+			t.Fatalf("dropped = %d, want 2", dropped)
+		}
+		if g.Load() != 2 {
+			t.Fatalf("drop gauge = %d, want 2", g.Load())
+		}
+		// Advance into the next window: the budget reopens.
+		clk.Sleep(20 * time.Millisecond)
+		end(15 * time.Millisecond)
+		flagged, dropped = wd.Flagged()
+		if len(flagged) != 3 || dropped != 2 {
+			t.Fatalf("after window roll: flagged=%d dropped=%d, want 3/2", len(flagged), dropped)
+		}
+	})
+}

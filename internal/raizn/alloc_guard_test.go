@@ -75,3 +75,34 @@ func TestSubmitReadZCAllocGuard(t *testing.T) {
 		t.Errorf("SubmitReadZC: bytes/op grew by %d from 1-unit to 4-unit read — payload is being copied", d)
 	}
 }
+
+// TestRecorderAllocGuard extends the write-path guard to the flight
+// recorder: attaching a recorder (as every production array under
+// observation does) must cost zero extra allocs/op on the non-sampled
+// path. With tracing disabled — the hot-path default the baseline above
+// is measured at — Begin returns nil spans and the observer is never
+// consulted, so the recorder rides along for free; this guard pins that.
+func TestRecorderAllocGuard(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not comparable under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("skipping benchmark-backed guard in -short mode")
+	}
+	for _, c := range submitWriteAllocBaseline {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			r := testing.Benchmark(func(b *testing.B) {
+				benchSeqWriteRecorder(b, c.sectors)
+			})
+			got := r.AllocsPerOp()
+			switch {
+			case got > c.allocs:
+				t.Errorf("SubmitWrite+recorder %s: %d allocs/op, tracing-disabled baseline %d — attaching a flight recorder must be free on the non-sampled path",
+					c.name, got, c.allocs)
+			case got < c.allocs:
+				t.Logf("SubmitWrite+recorder %s: %d allocs/op beats baseline %d", c.name, got, c.allocs)
+			}
+		})
+	}
+}

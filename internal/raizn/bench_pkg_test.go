@@ -3,6 +3,8 @@ package raizn
 import (
 	"testing"
 
+	"raizn/internal/obs"
+	"raizn/internal/obs/flight"
 	"raizn/internal/vclock"
 	"raizn/internal/zns"
 )
@@ -247,3 +249,51 @@ func benchSeqReadCopy(b *testing.B, vcfg Config, nSectors int64) {
 func BenchmarkSubmitReadCopy4Unit(b *testing.B) { benchSeqReadCopy(b, DefaultConfig(), 64) }
 func BenchmarkSubmitReadZC4Unit(b *testing.B)   { benchSeqReadZC(b, ringConfig(), 64) }
 func BenchmarkSubmitReadZC1Unit(b *testing.B)   { benchSeqReadZC(b, ringConfig(), 16) }
+
+// benchSeqWriteRecorder is benchSeqWrite with the full observation rig
+// attached — registry, (disabled) tracer, flight recorder as span
+// observer — for the recorder-overhead alloc guard.
+func benchSeqWriteRecorder(b *testing.B, nSectors int64) {
+	c := vclock.New()
+	c.Run(func() {
+		cfg := zns.DefaultConfig()
+		cfg.DiscardData = true
+		devs := make([]*zns.Device, 5)
+		for i := range devs {
+			devs[i] = zns.NewDevice(c, cfg)
+		}
+		reg := obs.NewRegistry()
+		tr := obs.NewTracer(c, obs.Config{SinkCapacity: 64}) // disabled, like the baseline
+		vcfg := DefaultConfig()
+		vcfg.Metrics = reg
+		vcfg.Tracer = tr
+		v, err := Create(c, devs, vcfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec := flight.New(flight.Config{
+			Clock: c, Registry: reg, Label: "guard",
+			Degraded: func() bool { return v.Degraded() >= 0 },
+		})
+		tr.SetObserver(rec)
+		buf := make([]byte, nSectors*int64(v.SectorSize()))
+		b.SetBytes(int64(len(buf)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		var lba int64
+		for i := 0; i < b.N; i++ {
+			if lba+nSectors > v.NumSectors() {
+				b.StopTimer()
+				for z := 0; z < v.NumZones(); z++ {
+					v.ResetZone(z)
+				}
+				lba = 0
+				b.StartTimer()
+			}
+			if err := v.Write(lba, buf, 0); err != nil {
+				b.Fatal(err)
+			}
+			lba += nSectors
+		}
+	})
+}

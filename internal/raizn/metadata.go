@@ -38,6 +38,12 @@ const (
 	recRelocData
 	recRelocParity
 	recChecksums
+	// recFlightBox carries a serialized flight-recorder black box
+	// (internal/obs/flight). startLBA holds the box byte length; the box
+	// rides as external payload sectors. The newest generation wins on
+	// recovery; recover() itself ignores the record — the box is plain
+	// forensic cargo, not array state.
+	recFlightBox
 
 	// recCheckpoint flags a record written by the metadata garbage
 	// collector rather than by normal operation (paper Fig. 4).
@@ -62,6 +68,8 @@ func (t recType) String() string {
 		s = "reloc-parity"
 	case recChecksums:
 		s = "stripe-checksums"
+	case recFlightBox:
+		s = "flight-box"
 	default:
 		s = fmt.Sprintf("recType(%d)", uint16(t))
 	}
@@ -98,6 +106,9 @@ func (r *record) payloadSectors(l *layout, sectorSize int) int64 {
 		return n
 	case recRelocData, recRelocParity:
 		return r.endLBA - r.startLBA
+	case recFlightBox:
+		// startLBA is the box byte length, carried as payload sectors.
+		return (r.startLBA + int64(sectorSize) - 1) / int64(sectorSize)
 	default:
 		return 0
 	}

@@ -340,6 +340,13 @@ type Volume struct {
 	// rebuild steps — always outside v.mu and the zone locks. Nil until
 	// attached.
 	hook obs.Hook
+
+	// blackBox holds the newest flight-recorder black box persisted via
+	// PersistBlackBox or recovered by the mount-time metadata scan;
+	// metadata GC checkpoints re-emit it (checkpointRecords) so the
+	// forensic record survives log roll-over. Guarded by v.mu.
+	blackBox    []byte
+	blackBoxGen uint64
 }
 
 // devTable is the immutable device-slot snapshot published under v.mu.
@@ -601,16 +608,25 @@ func newVolume(clk *vclock.Clock, devs []*zns.Device, cfg Config) (*Volume, erro
 	v.zcEpoch = make([]atomic.Uint64, numZones)
 	v.stats = newStatsCounters(reg, cfg.MetricsLabel)
 	registerWAHelp(reg)
+	reg.Help("raizn_degraded_slot", "device slot currently degraded, -1 when the array is healthy")
 	reg.GaugeFunc(obs.LabeledName("raizn_degraded_slot", "array", cfg.MetricsLabel), func() int64 {
 		v.mu.Lock()
 		defer v.mu.Unlock()
 		return int64(v.degraded)
 	})
+	reg.Help("raizn_open_zones", "logical zones currently open on the array")
 	reg.GaugeFunc(obs.LabeledName("raizn_open_zones", "array", cfg.MetricsLabel), func() int64 {
 		v.mu.Lock()
 		defer v.mu.Unlock()
 		return int64(v.openCount)
 	})
+	if cfg.Tracer != nil {
+		// Satellite of the flight recorder: the watchdog's per-window
+		// span-dump cap surfaces its drop count through the registry.
+		reg.Help("raizn_obs_dropped_spans", "slow-IO watchdog span trees dropped by the per-window and overall retention caps")
+		cfg.Tracer.Watchdog().BindDropGauge(
+			reg.Gauge(obs.LabeledName("raizn_obs_dropped_spans", "array", cfg.MetricsLabel)))
+	}
 	for z := range v.zones {
 		v.zones[z] = v.newLogicalZone(z)
 	}

@@ -190,6 +190,16 @@ func (v *Volume) recover() error {
 			// Generation validity is re-checked at apply time, after the
 			// reset-WAL and empty-zone bumps below.
 			st.cs = append(st.cs, r)
+		case recFlightBox:
+			// Forensic cargo, not array state: keep the newest intact box
+			// in memory so consolidateMetadata re-emits it — consolidation
+			// rewrites every metadata zone, and the crash evidence must
+			// survive the remount that follows the crash.
+			if r.startLBA > 0 && int64(len(r.payload)) >= r.startLBA &&
+				(v.blackBox == nil || r.gen > v.blackBoxGen) {
+				v.blackBox = append([]byte(nil), r.payload[:r.startLBA]...)
+				v.blackBoxGen = r.gen
+			}
 		}
 	}
 

@@ -76,6 +76,7 @@ type statsCounters struct {
 }
 
 func newStatsCounters(r *obs.Registry, label string) statsCounters {
+	registerStatsHelp(r)
 	// A non-empty array label turns every series into name{array="..."}
 	// so multiple arrays sharing one registry keep distinct counters; an
 	// empty label preserves the original bare names (see Config.
@@ -134,6 +135,31 @@ func registerEngineMetrics(r *obs.Registry, label string, eng ppengine.Engine) {
 	g("raizn_pp_fallback_total", func(s ppengine.Stats) int64 { return s.FallbackTotal })
 	g("raizn_gc_runs_total", func(s ppengine.Stats) int64 { return s.GCRuns })
 	g("raizn_gc_migrated_total", func(s ppengine.Stats) int64 { return s.GCMigrated })
+}
+
+// registerStatsHelp attaches HELP text to every statsCounters family
+// (under the bare names — labeled series share the family's help).
+func registerStatsHelp(r *obs.Registry) {
+	r.Help("raizn_logical_write_bytes", "host data bytes accepted by SubmitWrite/Append")
+	r.Help("raizn_logical_read_bytes", "host data bytes returned by SubmitRead")
+	r.Help("raizn_partial_parity_logs_total", "partial-parity log records written (paper section 5.1)")
+	r.Help("raizn_zrwa_parity_writes_total", "in-place ZRWA parity updates (paper section 5.4)")
+	r.Help("raizn_full_parity_writes_total", "full-stripe parity units written")
+	r.Help("raizn_relocations_total", "relocated write fragments created (paper section 5.2)")
+	r.Help("raizn_zone_resets_total", "logical zone resets completed")
+	r.Help("raizn_metadata_gcs_total", "metadata zone garbage-collection roll-overs")
+	r.Help("raizn_degraded_reads_total", "stripe-unit pieces served by parity reconstruction")
+	r.Help("raizn_coalesced_sub_writes_total", "device sub-IOs merged into a preceding vectored write")
+	r.Help("raizn_checksum_records_total", "stripe-checksum metadata records written")
+	r.Help("raizn_read_error_repairs_total", "foreground reads recovered via reconstruction")
+	r.Help("raizn_zero_copy_reads_total", "SubmitReadZC requests served without copying")
+	r.Help("raizn_zero_copy_fallbacks_total", "SubmitReadZC requests that fell back to a copy")
+	r.Help("raizn_scrubbed_stripes_total", "stripes fully verified by scrub")
+	r.Help("raizn_scrub_skipped_stripes_total", "stripes scrub could not verify (partial or racing)")
+	r.Help("raizn_scrub_mismatches_total", "stripes where XOR or CRC verification failed")
+	r.Help("raizn_scrub_repaired_data_total", "corrupted data units repaired by scrub")
+	r.Help("raizn_scrub_repaired_parity_total", "corrupted parity units repaired by scrub")
+	r.Help("raizn_scrub_unrepaired_total", "mismatched stripes scrub could not attribute or repair")
 }
 
 func registerWAHelp(r *obs.Registry) {

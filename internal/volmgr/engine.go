@@ -2,6 +2,7 @@ package volmgr
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -158,7 +159,15 @@ func (e *engine) addTenant(cfg TenantConfig) error {
 		errored:        e.v.reg.Counter(n("volmgr_requests_errored_total")),
 		lat:            e.v.reg.Histogram(n("volmgr_request_latency")),
 		queueDelay:     e.v.reg.Histogram(n("volmgr_queue_delay")),
+		perArray:       make(map[string]*arrayAgg),
 	}
+	e.v.reg.Help("volmgr_requests_accepted_total", "requests admitted into a tenant submission queue")
+	e.v.reg.Help("volmgr_requests_shed_total", "requests shed by admission control (tenant queue full)")
+	e.v.reg.Help("volmgr_requests_completed_total", "requests completed successfully")
+	e.v.reg.Help("volmgr_completed_bytes", "bytes moved by successfully completed requests")
+	e.v.reg.Help("volmgr_requests_errored_total", "requests completed with an error")
+	e.v.reg.Help("volmgr_request_latency", "submit-to-completion latency (queue plus service)")
+	e.v.reg.Help("volmgr_queue_delay", "submit-to-array-issue delay")
 	e.tenants[cfg.ID] = t
 	e.order = append(e.order, cfg.ID)
 	return nil
@@ -397,7 +406,7 @@ func (e *engine) issueRun(run []*request) {
 	r0 := run[0]
 	ext, arrLBA, err := e.v.locate(r0.lba, r0.sectors) // revalidated at submit; cannot fail
 	if err != nil {
-		e.completeRun(run, err)
+		e.completeRun(run, "", err)
 		return
 	}
 	var fut *vclock.Future
@@ -419,13 +428,15 @@ func (e *engine) issueRun(run []*request) {
 		e.coalesced.Add(int64(len(run) - 1))
 	}
 	fut.Subscribe(func(err error) {
-		e.completeRun(run, err)
+		e.completeRun(run, ext.arr.id, err)
 	})
 }
 
-// completeRun resolves a run's futures, feeds latency accounting, and
-// returns the run's slots to the in-flight window.
-func (e *engine) completeRun(run []*request, err error) {
+// completeRun resolves a run's futures, feeds latency and per-array
+// attribution accounting, and returns the run's slots to the in-flight
+// window. arrayID names the array the run was issued against ("" when
+// the run never reached an array).
+func (e *engine) completeRun(run []*request, arrayID string, err error) {
 	now := e.v.clk.Now()
 	ss := int64(e.v.sectorSize)
 	for _, r := range run {
@@ -441,6 +452,20 @@ func (e *engine) completeRun(run []*request, err error) {
 		r.fut.Complete(err)
 	}
 	e.mu.Lock()
+	if arrayID != "" {
+		for _, r := range run {
+			ag := r.tn.perArray[arrayID]
+			if ag == nil {
+				ag = &arrayAgg{}
+				r.tn.perArray[arrayID] = ag
+			}
+			ag.ops++
+			ag.latSum += now - r.submitT
+			if err != nil {
+				ag.errs++
+			}
+		}
+	}
 	e.inflight -= len(run)
 	idle := e.inflight == 0
 	e.mu.Unlock()
@@ -473,6 +498,49 @@ func (e *engine) close() {
 		e.idle.Wait()
 	}
 	e.mu.Unlock()
+}
+
+// ArrayAttribution summarizes one tenant's completions against one
+// hosted array — the evidence an incident report uses to rank arrays.
+type ArrayAttribution struct {
+	Array   string
+	Ops     int64
+	Errors  int64
+	MeanLat time.Duration
+}
+
+// tenantArrayAttribution ranks the arrays a tenant's completions landed
+// on, most-implicated first: errors, then mean latency, then traffic
+// volume, with array id as the final tiebreak so the order is
+// deterministic run to run.
+func (e *engine) tenantArrayAttribution(tid string) []ArrayAttribution {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t := e.tenants[tid]
+	if t == nil {
+		return nil
+	}
+	out := make([]ArrayAttribution, 0, len(t.perArray))
+	for id, ag := range t.perArray {
+		a := ArrayAttribution{Array: id, Ops: ag.ops, Errors: ag.errs}
+		if ag.ops > 0 {
+			a.MeanLat = ag.latSum / time.Duration(ag.ops)
+		}
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Errors != out[j].Errors {
+			return out[i].Errors > out[j].Errors
+		}
+		if out[i].MeanLat != out[j].MeanLat {
+			return out[i].MeanLat > out[j].MeanLat
+		}
+		if out[i].Ops != out[j].Ops {
+			return out[i].Ops > out[j].Ops
+		}
+		return out[i].Array < out[j].Array
+	})
+	return out
 }
 
 // tenantStats snapshots every tenant's counters in registration order.

@@ -112,6 +112,18 @@ type tenant struct {
 	errored        *obs.Counter
 	lat            *stats.Histogram // submit -> completion (queue + service)
 	queueDelay     *stats.Histogram // submit -> array issue
+
+	// perArray attributes completions to the hosting array. Not a
+	// metric: incident forensics reads it to rank suspect arrays.
+	perArray map[string]*arrayAgg
+}
+
+// arrayAgg accumulates one tenant's completions against one hosted
+// array — the raw material for incident attribution.
+type arrayAgg struct {
+	ops    int64
+	errs   int64
+	latSum time.Duration
 }
 
 // tokenETA returns how long until the tenant's buckets admit r.

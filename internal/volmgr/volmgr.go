@@ -31,6 +31,7 @@ import (
 	"sync"
 
 	"raizn/internal/obs"
+	"raizn/internal/obs/flight"
 	"raizn/internal/raizn"
 	"raizn/internal/vclock"
 	"raizn/internal/zns"
@@ -115,11 +116,12 @@ type Manager struct {
 	clk *vclock.Clock
 	reg *obs.Registry
 
-	mu       sync.Mutex
-	arrays   []*Array
-	cursor   int // round-robin extent-placement cursor
-	vols     map[string]*Volume
-	volOrder []string
+	mu        sync.Mutex
+	arrays    []*Array
+	cursor    int // round-robin extent-placement cursor
+	vols      map[string]*Volume
+	volOrder  []string
+	recorders map[string]*flight.Recorder // per-array flight recorders
 }
 
 // NewManager returns an empty manager bound to the clock.
@@ -248,6 +250,62 @@ func (m *Manager) CreateVolume(name string, spec VolumeSpec) (*Volume, error) {
 	return v, nil
 }
 
+// AttachRecorder binds a flight recorder to a hosted array so that SLO
+// breaches attributed to the array can freeze its black box. Passing a
+// nil recorder detaches.
+func (m *Manager) AttachRecorder(arrayID string, rec *flight.Recorder) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.recorders == nil {
+		m.recorders = make(map[string]*flight.Recorder)
+	}
+	if rec == nil {
+		delete(m.recorders, arrayID)
+		return
+	}
+	m.recorders[arrayID] = rec
+}
+
+// CheckIncidents sweeps every volume's SLO alarm and converts breaches
+// into incidents: each breaching tenant's most-implicated array (per
+// TenantArrayAttribution) is looked up, and if that array has an
+// attached flight recorder the recorder is frozen with an SLO-breach
+// trigger carrying the tenant/array attribution. Breaches whose top
+// array has no recorder are skipped. Volumes are visited in creation
+// order and breaches arrive worst-first, so the incident list is
+// deterministic; at most one incident is filed per array per sweep (a
+// second breach implicating an already-frozen array adds no evidence —
+// freeze is first-wins).
+func (m *Manager) CheckIncidents() []*flight.Incident {
+	var out []*flight.Incident
+	for _, v := range m.Volumes() {
+		for _, br := range v.Alarm().Check() {
+			attr := v.TenantArrayAttribution(br.Tenant)
+			if len(attr) == 0 {
+				continue
+			}
+			arr := attr[0].Array
+			m.mu.Lock()
+			rec := m.recorders[arr]
+			m.mu.Unlock()
+			if rec == nil || rec.Frozen() {
+				continue
+			}
+			out = append(out, rec.Incident(flight.Trigger{
+				Kind: flight.TrigSLOBreach,
+				TNs:  int64(m.clk.Now()),
+				Detail: fmt.Sprintf("volume %s tenant %s p99 %v > bar %v over %d samples",
+					v.Name(), br.Tenant, br.P99, br.Bar, br.Samples),
+				Dev:    -1,
+				Zone:   -1,
+				Tenant: br.Tenant,
+				Array:  arr,
+			}))
+		}
+	}
+	return out
+}
+
 // Volume looks up a volume by name.
 func (m *Manager) Volume(name string) *Volume {
 	m.mu.Lock()
@@ -339,6 +397,13 @@ func (v *Volume) locate(lba, sectors int64) (extent, int64, error) {
 	}
 	e := v.extents[ei]
 	return e, int64(e.zone)*v.zoneSectors + inner, nil
+}
+
+// TenantArrayAttribution ranks the hosted arrays by how implicated
+// they are in the tenant's completions so far: errors first, then mean
+// latency, then traffic volume. The order is deterministic run to run.
+func (v *Volume) TenantArrayAttribution(tenant string) []ArrayAttribution {
+	return v.eng.tenantArrayAttribution(tenant)
 }
 
 // AddTenant registers a tenant with the volume's engine.

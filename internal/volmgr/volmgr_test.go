@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"raizn/internal/obs"
+	"raizn/internal/obs/flight"
 	"raizn/internal/raizn"
 	"raizn/internal/vclock"
 	"raizn/internal/zns"
@@ -539,4 +540,118 @@ func TestJainIndex(t *testing.T) {
 	if got := JainIndex(nil); got != 0 {
 		t.Errorf("empty: %v, want 0", got)
 	}
+}
+
+// TestTenantArrayAttribution: completions are attributed to the hosting
+// array per tenant, and the ranking orders errors, then mean latency,
+// then volume, deterministically.
+func TestTenantArrayAttribution(t *testing.T) {
+	clk := vclock.New()
+	clk.Run(func() {
+		m := newTestManager(t, clk, 2)
+		v, err := m.CreateVolume("attr", VolumeSpec{
+			Zones:   4, // round-robins across a0, a1
+			Engine:  EngineConfig{QueueDepth: 4},
+			Tenants: []TenantConfig{{ID: "t0", Weight: 1}},
+		})
+		if err != nil {
+			t.Fatalf("CreateVolume: %v", err)
+		}
+		zs := v.ZoneSectors()
+		// Zone 0 lives on a0, zone 1 on a1: write both so t0 has
+		// completions attributed to both arrays.
+		for z := int64(0); z < 2; z++ {
+			fut, err := v.SubmitWrite("t0", z*zs, pattern("t0", z*zs, 16, v.SectorSize()), 0)
+			if err != nil {
+				t.Fatalf("SubmitWrite zone %d: %v", z, err)
+			}
+			if err := fut.Wait(); err != nil {
+				t.Fatalf("write zone %d: %v", z, err)
+			}
+		}
+		attr := v.TenantArrayAttribution("t0")
+		if len(attr) != 2 {
+			t.Fatalf("attribution has %d arrays, want 2: %+v", len(attr), attr)
+		}
+		var ops int64
+		for _, a := range attr {
+			if a.Array != "a0" && a.Array != "a1" {
+				t.Errorf("attributed to unknown array %q", a.Array)
+			}
+			if a.Errors != 0 {
+				t.Errorf("%s: %d errors on a clean run", a.Array, a.Errors)
+			}
+			if a.MeanLat <= 0 {
+				t.Errorf("%s: non-positive mean latency %v", a.Array, a.MeanLat)
+			}
+			ops += a.Ops
+		}
+		if ops != 2 {
+			t.Errorf("attributed %d ops, want 2", ops)
+		}
+		if v.TenantArrayAttribution("nope") != nil {
+			t.Error("unknown tenant should attribute to nothing")
+		}
+		if err := v.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	})
+}
+
+// TestCheckIncidentsFreezesAttributedArray: an SLO breach files one
+// incident against the breaching tenant's most-implicated array, carries
+// the tenant/array attribution in the trigger, and freezes that array's
+// recorder exactly once.
+func TestCheckIncidentsFreezesAttributedArray(t *testing.T) {
+	clk := vclock.New()
+	clk.Run(func() {
+		m := newTestManager(t, clk, 1)
+		v, err := m.CreateVolume("slo", VolumeSpec{
+			Zones: 2,
+			Engine: EngineConfig{
+				QueueDepth: 4,
+				// An absurdly tight absolute objective: every write breaches.
+				SLO: obs.SLOConfig{Factor: 1, TargetP99: time.Nanosecond, MinSamples: 4},
+			},
+			Tenants: []TenantConfig{{ID: "t0", Weight: 1}},
+		})
+		if err != nil {
+			t.Fatalf("CreateVolume: %v", err)
+		}
+		rec := flight.New(flight.Config{Clock: clk, Registry: m.Metrics(), Label: "a0"})
+		m.AttachRecorder("a0", rec)
+
+		zs := v.ZoneSectors()
+		for i := int64(0); i < 8; i++ {
+			fut, err := v.SubmitWrite("t0", i*16%zs+i/(zs/16)*zs, pattern("t0", 0, 16, v.SectorSize()), 0)
+			if err != nil {
+				t.Fatalf("SubmitWrite: %v", err)
+			}
+			if err := fut.Wait(); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+		}
+
+		incidents := m.CheckIncidents()
+		if len(incidents) != 1 {
+			t.Fatalf("CheckIncidents filed %d incidents, want 1: %+v", len(incidents), incidents)
+		}
+		trig := incidents[0].Box.Trigger
+		if trig == nil || trig.Kind != flight.TrigSLOBreach {
+			t.Fatalf("trigger = %+v, want an SLO-breach trigger", trig)
+		}
+		if trig.Tenant != "t0" || trig.Array != "a0" {
+			t.Errorf("trigger attribution = tenant %q array %q, want t0/a0", trig.Tenant, trig.Array)
+		}
+		if !rec.Frozen() {
+			t.Error("the attributed array's recorder was not frozen")
+		}
+		// A second sweep must not refile against the frozen recorder.
+		if again := m.CheckIncidents(); len(again) != 0 {
+			t.Errorf("second sweep filed %d incidents against a frozen recorder", len(again))
+		}
+		if err := v.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	})
 }

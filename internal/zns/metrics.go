@@ -18,17 +18,21 @@ func (d *Device) RegisterMetrics(r *obs.Registry, prefix string) {
 			return f()
 		}
 	}
-	r.GaugeFunc(prefix+"_host_write_bytes", lockedInt(func() int64 { return d.hostWriteBytes }))
-	r.GaugeFunc(prefix+"_flash_program_bytes", lockedInt(func() int64 { return d.flashProgramBytes }))
-	r.GaugeFunc(prefix+"_host_read_bytes", lockedInt(func() int64 { return d.hostReadBytes }))
-	r.GaugeFunc(prefix+"_write_cmds_total", lockedInt(func() int64 { return d.writeCmds }))
-	r.GaugeFunc(prefix+"_flushes_total", lockedInt(func() int64 { return d.flushCount }))
-	r.GaugeFunc(prefix+"_resets_total", lockedInt(func() int64 { return d.resetCount }))
-	r.GaugeFunc(prefix+"_latent_sectors_total", lockedInt(func() int64 { return d.injectedReadErrs }))
-	r.GaugeFunc(prefix+"_bitrot_sectors_total", lockedInt(func() int64 { return d.injectedRot }))
-	r.GaugeFunc(prefix+"_read_medium_errs_total", lockedInt(func() int64 { return d.readMediumErrs }))
-	r.GaugeFunc(prefix+"_open_zones", lockedInt(func() int64 { return int64(d.nOpen) }))
-	r.GaugeFunc(prefix+"_active_zones", lockedInt(func() int64 { return int64(d.nActive) }))
+	g := func(name, help string, f func() int64) {
+		r.Help(prefix+name, help)
+		r.GaugeFunc(prefix+name, lockedInt(f))
+	}
+	g("_host_write_bytes", "bytes the host wrote to the device (write/append commands)", func() int64 { return d.hostWriteBytes })
+	g("_flash_program_bytes", "bytes actually programmed to flash (host writes minus ZRWA overwrites never programmed)", func() int64 { return d.flashProgramBytes })
+	g("_host_read_bytes", "bytes the host read from the device", func() int64 { return d.hostReadBytes })
+	g("_write_cmds_total", "write/append commands the device accepted", func() int64 { return d.writeCmds })
+	g("_flushes_total", "flush commands the device completed", func() int64 { return d.flushCount })
+	g("_resets_total", "zone resets the device completed", func() int64 { return d.resetCount })
+	g("_latent_sectors_total", "sectors carrying an injected latent read error", func() int64 { return d.injectedReadErrs })
+	g("_bitrot_sectors_total", "sectors carrying injected bit rot", func() int64 { return d.injectedRot })
+	g("_read_medium_errs_total", "read commands failed with a medium error", func() int64 { return d.readMediumErrs })
+	g("_open_zones", "zones currently open on the device", func() int64 { return int64(d.nOpen) })
+	g("_active_zones", "zones currently active (open or closed) on the device", func() int64 { return int64(d.nActive) })
 }
 
 // stateCountLocked counts zones currently in state st. Caller holds d.mu.
